@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at full scale into results.md.
+experiments:
+	$(GO) run ./cmd/experiments -scale full -o results.md
+
+# Run all seven end-to-end examples.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gwas-paste
+	$(GO) run ./examples/checkpoint-policy
+	$(GO) run ./examples/streaming-steering
+	$(GO) run ./examples/irf-loop-census
+	$(GO) run ./examples/codesign-campaign
+	$(GO) run ./examples/insitu-monitor
+
+clean:
+	rm -f results.md test_output.txt bench_output.txt

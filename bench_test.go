@@ -1,0 +1,285 @@
+// Benchmarks regenerating the data behind every figure of the paper's
+// evaluation (Section V), plus the ablations DESIGN.md calls out. Each
+// benchmark runs a reduced-scale configuration per iteration and reports
+// the figure's headline metric via b.ReportMetric; cmd/experiments runs the
+// paper-scale versions.
+package fairflow_test
+
+import (
+	"testing"
+
+	"fairflow/internal/ckpt"
+	"fairflow/internal/experiments"
+	"fairflow/internal/expt"
+	"fairflow/internal/savanna"
+	"fairflow/internal/stream"
+	"fairflow/internal/tabular"
+)
+
+// --- EXP-A / Fig. 2: GWAS paste -----------------------------------------
+
+func benchGWASConfig(seed int64) experiments.GWASPasteConfig {
+	return experiments.GWASPasteConfig{
+		Samples: 64, SNPs: 1000, FanIn: 16, Parallelism: 4, Seed: seed,
+	}
+}
+
+// BenchmarkGWASPasteWorkflow regenerates Fig. 2: the full generate→paste
+// pipeline, reporting the manual-vs-model intervention counts.
+func BenchmarkGWASPasteWorkflow(b *testing.B) {
+	var res *experiments.GWASPasteResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunGWASPaste(benchGWASConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Interventions.Manual), "manual-interventions")
+	b.ReportMetric(float64(res.Interventions.ModelDriven), "model-interventions")
+}
+
+// BenchmarkPasteFanIn is the fan-in ablation: the same 128 files pasted
+// with different fan-in limits (sub-bench per limit).
+func BenchmarkPasteFanIn(b *testing.B) {
+	for _, fanIn := range []int{4, 16, 64} {
+		b.Run(benchName("fanin", fanIn), func(b *testing.B) {
+			dir := b.TempDir()
+			inputs := makeColumns(b, dir, 128, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := tabular.PlanPaste(inputs, dir+"/out.tsv", dir+"/work", fanIn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := plan.Execute(tabular.ExecOptions{Parallelism: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- EXP-B / Fig. 3: checkpoints vs overhead budget ----------------------
+
+// BenchmarkCheckpointOverheadSweep regenerates the Fig. 3 sweep (reduced to
+// three budgets per iteration) and reports the saturating checkpoint count.
+func BenchmarkCheckpointOverheadSweep(b *testing.B) {
+	var last []ckpt.SweepPoint
+	for i := 0; i < b.N; i++ {
+		cfg := ckpt.DefaultSweepConfig(int64(i))
+		cfg.Budgets = []float64{0.02, 0.10, 0.50}
+		cfg.RunsPerBudget = 2
+		var err error
+		last, err = ckpt.OverheadSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last[0].MeanCheckpoints, "ckpts@2%")
+	b.ReportMetric(last[len(last)-1].MeanCheckpoints, "ckpts@50%")
+}
+
+// --- EXP-B / Fig. 4: run-to-run variation --------------------------------
+
+// BenchmarkCheckpointRunVariation regenerates the Fig. 4 spread and reports
+// its range.
+func BenchmarkCheckpointRunVariation(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		runs, err := ckpt.RunVariation(ckpt.DefaultSweepConfig(int64(i)), 0.10, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts := make([]float64, len(runs))
+		for j, r := range runs {
+			counts[j] = float64(r.CheckpointsWritten)
+		}
+		s := expt.Summarize(counts)
+		spread = s.Max - s.Min
+	}
+	b.ReportMetric(spread, "count-range")
+}
+
+// BenchmarkCheckpointPolicyAblation contrasts fixed-interval with the
+// overhead-budget policy under identical seeds (the design-choice ablation).
+func BenchmarkCheckpointPolicyAblation(b *testing.B) {
+	var cmp *ckpt.PolicyComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = ckpt.ComparePolicies(ckpt.DefaultSweepConfig(int64(i)), 5, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.Fixed.OverheadFraction()*100, "fixed-overhead-%")
+	b.ReportMetric(cmp.Budget.OverheadFraction()*100, "budget-overhead-%")
+}
+
+// --- EXP-C / Fig. 5: data-scheduler policies ------------------------------
+
+func benchItem(schema *stream.Schema, seq int64) stream.Item {
+	return stream.Item{Seq: seq, Payload: stream.Record{Schema: schema, Values: []any{seq}}}
+}
+
+func benchSchema() *stream.Schema {
+	return &stream.Schema{Name: "bench", Fields: []stream.Field{{Name: "v", Type: stream.TInt64}}}
+}
+
+// BenchmarkStreamPolicy measures per-item scheduler cost for each policy of
+// the Fig. 5 subgraph.
+func BenchmarkStreamPolicy(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() stream.Policy
+	}{
+		{"forward-all", func() stream.Policy { return stream.ForwardAll{} }},
+		{"window-count", func() stream.Policy {
+			p, _ := stream.NewSlidingWindowCount(64, 64)
+			return p
+		}},
+		{"sample-10", func() stream.Policy {
+			p, _ := stream.NewSampleEveryN(10)
+			return p
+		}},
+		{"direct-selection", func() stream.Policy {
+			p, _ := stream.NewDirectSelection(4096)
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sched := stream.NewScheduler()
+			sched.Subscribe(func(string, stream.Item) {})
+			if err := sched.Install("q", tc.mk()); err != nil {
+				b.Fatal(err)
+			}
+			schema := benchSchema()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.Ingest(benchItem(schema, int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkStreamPolicySwap measures the cost of installing a policy at
+// runtime via punctuation — the Fig. 5 runtime-specialisation primitive
+// (contrast with regenerating and restarting the deployment).
+func BenchmarkStreamPolicySwap(b *testing.B) {
+	sched := stream.NewScheduler()
+	schema := benchSchema()
+	sched.Ingest(benchItem(schema, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := stream.NewDirectSelection(16)
+		name := benchName("q", i)
+		if err := sched.Punctuate(stream.Punctuation{Op: stream.OpInstall, Queue: name, Policy: p}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Punctuate(stream.Punctuation{Op: stream.OpRemove, Queue: name}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-D / Figs. 6–7: iRF-LOOP campaign scheduling ----------------------
+
+func benchIRFConfig(seed int64) experiments.IRFLoopConfig {
+	return experiments.IRFLoopConfig{
+		Features: 200, Nodes: 10, WalltimeSeconds: 3600,
+		MedianRunSeconds: 120, Sigma: 1.45, Allocations: 100, Seed: seed,
+	}
+}
+
+// BenchmarkIRFLoopSchedulers regenerates Figs. 6 and 7 at reduced scale and
+// reports the utilisation gap and the throughput speedup.
+func BenchmarkIRFLoopSchedulers(b *testing.B) {
+	var res *experiments.IRFLoopResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunIRFLoopScheduling(benchIRFConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup, "speedup-x")
+	b.ReportMetric(res.Dynamic.MeanUtilization*100, "dyn-util-%")
+	b.ReportMetric(res.SetSync.MeanUtilization*100, "set-util-%")
+}
+
+// BenchmarkIRFLoopSingleAllocation isolates one allocation per discipline —
+// the per-allocation cost behind Fig. 7.
+func BenchmarkIRFLoopSingleAllocation(b *testing.B) {
+	m, err := experiments.BuildIRFCampaign(200, 10, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range []savanna.Discipline{savanna.Dynamic, savanna.SetSynchronized} {
+		b.Run(string(d), func(b *testing.B) {
+			eng := &savanna.SimEngine{
+				Durations: savanna.TruncatedLogNormalDurations(120, 1.45, 3200),
+				Seed:      1,
+			}
+			var completed int
+			for i := 0; i < b.N; i++ {
+				out, err := eng.RunAllocation(m.Runs, 10, 3600, d, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				completed = len(out.Completed)
+			}
+			b.ReportMetric(float64(completed), "completed-runs")
+		})
+	}
+}
+
+// --- TBL-DEBT: reusability continuum --------------------------------------
+
+// BenchmarkDebtContinuum regenerates the continuum table and reports the
+// end-to-end reduction in human steps.
+func BenchmarkDebtContinuum(b *testing.B) {
+	var first, last int
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunDebtContinuum()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last = pts[0].HumanSteps, pts[len(pts)-1].HumanSteps
+	}
+	b.ReportMetric(float64(first), "human-steps-blackbox")
+	b.ReportMetric(float64(last), "human-steps-invested")
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "-0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "-" + string(buf[i:])
+}
+
+func makeColumns(b *testing.B, dir string, files, rows int) []string {
+	b.Helper()
+	inputs := make([]string, files)
+	cells := make([]string, rows)
+	for r := range cells {
+		cells[r] = "1"
+	}
+	for i := range inputs {
+		inputs[i] = dir + "/" + benchName("col", i) + ".txt"
+		if err := tabular.WriteColumn(inputs[i], cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return inputs
+}

@@ -1,0 +1,195 @@
+// Command cheetah composes and inspects campaigns (paper Section IV).
+//
+//	cheetah create -spec campaign.json -root campaigns/
+//	    validate a campaign spec, build its manifest, and materialise the
+//	    campaign directory schema
+//	cheetah status -campaign campaigns/<name>
+//	    summarise run statuses and list the resubmission set
+//	cheetah runs -spec campaign.json
+//	    enumerate the campaign's runs without materialising anything
+//	cheetah catalog -f catalog.json [-pareto m1:min,m2:max] [-impact metric]
+//	    summarise a codesign catalog: per-metric extremes, optional Pareto
+//	    front and per-parameter impact ranking
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fairflow/internal/catalog"
+	"fairflow/internal/cheetah"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "create":
+		fs := flag.NewFlagSet("create", flag.ExitOnError)
+		spec := fs.String("spec", "", "campaign spec JSON")
+		root := fs.String("root", "campaigns", "root directory for campaign endpoints")
+		fs.Parse(os.Args[2:])
+		create(*spec, *root)
+	case "status":
+		fs := flag.NewFlagSet("status", flag.ExitOnError)
+		dir := fs.String("campaign", "", "materialised campaign directory")
+		fs.Parse(os.Args[2:])
+		status(*dir)
+	case "runs":
+		fs := flag.NewFlagSet("runs", flag.ExitOnError)
+		spec := fs.String("spec", "", "campaign spec JSON")
+		fs.Parse(os.Args[2:])
+		listRuns(*spec)
+	case "catalog":
+		fs := flag.NewFlagSet("catalog", flag.ExitOnError)
+		file := fs.String("f", "", "catalog JSON file")
+		pareto := fs.String("pareto", "", "objectives metric:min|max, comma-separated")
+		impact := fs.String("impact", "", "rank all parameters by impact on this metric")
+		fs.Parse(os.Args[2:])
+		if *file == "" {
+			fatal(fmt.Errorf("catalog needs -f"))
+		}
+		catalogReport(*file, *pareto, *impact)
+	default:
+		usage()
+	}
+}
+
+func catalogReport(file, pareto, impact string) {
+	f, err := os.Open(file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cat, err := catalog.ReadJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(cat.Summary())
+
+	if impact != "" {
+		params := map[string]bool{}
+		for _, e := range cat.Entries {
+			for p := range e.Params {
+				params[p] = true
+			}
+		}
+		names := make([]string, 0, len(params))
+		for p := range params {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		ranked, err := cat.RankParameters(names, impact)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nparameter impact on %s:\n", impact)
+		for _, imp := range ranked {
+			fmt.Printf("  %-16s spread %.4g\n", imp.Parameter, imp.Spread)
+		}
+	}
+
+	if pareto != "" {
+		var objectives []catalog.Objective
+		for _, chunk := range strings.Split(pareto, ",") {
+			kv := strings.SplitN(chunk, ":", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("bad objective %q (want metric:min|max)", chunk))
+			}
+			dir := catalog.Minimize
+			if kv[1] == "max" {
+				dir = catalog.Maximize
+			} else if kv[1] != "min" {
+				fatal(fmt.Errorf("bad direction %q", kv[1]))
+			}
+			objectives = append(objectives, catalog.Objective{Metric: kv[0], Direction: dir})
+		}
+		front, err := cat.ParetoFront(objectives)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npareto front (%d of %d entries):\n", len(front), cat.Len())
+		for _, e := range front {
+			fmt.Printf("  %-24s %v %v\n", e.RunID, e.Params, e.Metrics)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cheetah <create|status|runs|catalog> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cheetah:", err)
+	os.Exit(1)
+}
+
+func loadCampaign(spec string) cheetah.Campaign {
+	if spec == "" {
+		fatal(fmt.Errorf("need -spec"))
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		fatal(err)
+	}
+	var c cheetah.Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+func create(spec, root string) {
+	c := loadCampaign(spec)
+	m, err := cheetah.BuildManifest(c)
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := m.Materialize(root)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cheetah: campaign %q materialised at %s (%d runs across %d groups)\n",
+		c.Name, dir, len(m.Runs), len(c.Groups))
+}
+
+func status(dir string) {
+	if dir == "" {
+		fatal(fmt.Errorf("need -campaign"))
+	}
+	sum, err := cheetah.Status(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cheetah: %d runs\n", sum.Total)
+	for _, st := range []cheetah.RunStatus{cheetah.RunPending, cheetah.RunRunning, cheetah.RunSucceeded, cheetah.RunFailed} {
+		if n := sum.ByStatus[st]; n > 0 {
+			fmt.Printf("  %-10s %d\n", st, n)
+		}
+	}
+	if len(sum.PendingRuns) > 0 && len(sum.PendingRuns) <= 20 {
+		fmt.Println("  resubmission set:")
+		for _, id := range sum.PendingRuns {
+			fmt.Printf("    %s\n", id)
+		}
+	} else if len(sum.PendingRuns) > 20 {
+		fmt.Printf("  resubmission set: %d runs (first %s)\n", len(sum.PendingRuns), sum.PendingRuns[0])
+	}
+}
+
+func listRuns(spec string) {
+	c := loadCampaign(spec)
+	runs, err := c.EnumerateRuns()
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range runs {
+		fmt.Printf("%s  %v\n", r.ID, r.Params)
+	}
+}

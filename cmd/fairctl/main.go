@@ -1,0 +1,264 @@
+// Command fairctl inspects and reports on reusability-gauge metadata.
+//
+// Subcommands:
+//
+//	fairctl gauges                    print the six gauge axes and their tiers (Fig. 1)
+//	fairctl assess  -f assessments.json [-component name]
+//	                                  show debt ledgers, unlocked capabilities,
+//	                                  and the payoff curve for stored assessments
+//	fairctl terms                     print the machine-queriable ontology term index
+//	fairctl plan -workflow wf.json    run the automation planner over a workflow
+//	                                  document (annotation formats BED/GFF3/GTF2/PSL
+//	                                  get their built-in converters)
+//	fairctl export -workflow wf.json -prov runs.jsonl -campaign <id> [-internal] [-o ro.json]
+//	                                  package a research object: the workflow plus
+//	                                  policy-filtered provenance and a debt summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fairflow/internal/annot"
+	"fairflow/internal/core"
+	"fairflow/internal/gauge"
+	"fairflow/internal/provenance"
+	"fairflow/internal/schema"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gauges":
+		printGauges()
+	case "terms":
+		printTerms()
+	case "assess":
+		fs := flag.NewFlagSet("assess", flag.ExitOnError)
+		file := fs.String("f", "", "assessments JSON file (array of assessments)")
+		component := fs.String("component", "", "restrict to one component")
+		fs.Parse(os.Args[2:])
+		if *file == "" {
+			fatal(fmt.Errorf("assess needs -f"))
+		}
+		assess(*file, *component)
+	case "plan":
+		fs := flag.NewFlagSet("plan", flag.ExitOnError)
+		wfFile := fs.String("workflow", "", "workflow document JSON")
+		fs.Parse(os.Args[2:])
+		if *wfFile == "" {
+			fatal(fmt.Errorf("plan needs -workflow"))
+		}
+		plan(*wfFile)
+	case "export":
+		fs := flag.NewFlagSet("export", flag.ExitOnError)
+		wfFile := fs.String("workflow", "", "workflow document JSON")
+		provFile := fs.String("prov", "", "provenance JSONL (as written by savanna -prov)")
+		campaign := fs.String("campaign", "", "campaign id to export")
+		includeInternal := fs.Bool("internal", false, "retain internal-sensitivity annotations and environment")
+		out := fs.String("o", "", "output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		if *wfFile == "" || *provFile == "" || *campaign == "" {
+			fatal(fmt.Errorf("export needs -workflow, -prov and -campaign"))
+		}
+		export(*wfFile, *provFile, *campaign, *includeInternal, *out)
+	default:
+		usage()
+	}
+}
+
+func export(wfFile, provFile, campaign string, includeInternal bool, out string) {
+	wf, err := os.Open(wfFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer wf.Close()
+	w, err := core.LoadWorkflow(wf)
+	if err != nil {
+		fatal(err)
+	}
+	pf, err := os.Open(provFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer pf.Close()
+	store, err := provenance.ReadJSONL(pf)
+	if err != nil {
+		fatal(err)
+	}
+	policy := provenance.DefaultExportPolicy()
+	if includeInternal {
+		policy.MaxSensitivity = provenance.Internal
+		policy.IncludeEnvironment = true
+		policy.IncludeFailures = true
+	}
+	ro, err := core.ExportResearchObject(w, store, []string{campaign}, policy)
+	if err != nil {
+		fatal(err)
+	}
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := ro.WriteJSON(dst); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fairctl: exported %d record(s); debt %d interventions / %.0f min per reuse\n",
+		len(ro.Provenance[0].Records), ro.DebtSummary.Interventions, ro.DebtSummary.Minutes)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export> [flags]")
+	os.Exit(2)
+}
+
+func plan(wfFile string) {
+	f, err := os.Open(wfFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := core.LoadWorkflow(f)
+	if err != nil {
+		fatal(err)
+	}
+	// Build a registry covering the workflow's referenced formats: the
+	// built-in annotation formats come with converters; anything else is
+	// registered bare (plannable as identity edges only).
+	reg := schema.NewRegistry()
+	if err := annot.RegisterFormats(reg); err != nil {
+		fatal(err)
+	}
+	for _, id := range w.ReferencedFormats() {
+		if _, known := reg.Lookup(id); known {
+			continue
+		}
+		// IDs are "name@vN".
+		name, version := id, 1
+		if i := indexByte(id, '@'); i > 0 {
+			name = id[:i]
+			fmt.Sscanf(id[i:], "@v%d", &version)
+		}
+		reg.Register(schema.Format{Name: name, Version: version, Family: schema.ASCII, Kind: schema.Table})
+	}
+
+	planner := &core.Planner{Formats: reg}
+	p, err := planner.PlanReuse(w)
+	if err != nil {
+		fatal(err)
+	}
+	core.SortSteps(p.Steps)
+	fmt.Printf("workflow %q: %d steps, %.0f%% automated\n",
+		w.Name, len(p.Steps), p.AutomationFraction()*100)
+	for _, s := range p.Steps {
+		fmt.Printf("  [%-12s] %-40s %s\n", s.Kind, s.Subject, s.Detail)
+	}
+	iv, minutes := w.Debt()
+	fmt.Printf("technical debt: %d interventions, %.0f human-minutes per reuse\n", iv, minutes)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fairctl:", err)
+	os.Exit(1)
+}
+
+func printGauges() {
+	for _, axis := range gauge.Axes() {
+		side := "data"
+		if axis.IsSoftware() {
+			side = "software"
+		}
+		fmt.Printf("%s (%s gauge)\n", axis, side)
+		for _, ti := range gauge.Levels(axis) {
+			fmt.Printf("  tier %d  %-24s %s\n", ti.Tier, ti.Name, ti.Description)
+			if len(ti.Requires) > 0 {
+				fmt.Printf("          requires:")
+				axes := make([]string, 0, len(ti.Requires))
+				for dep, min := range ti.Requires {
+					axes = append(axes, fmt.Sprintf(" %s≥%d", dep, min))
+				}
+				sort.Strings(axes)
+				for _, a := range axes {
+					fmt.Print(a)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func printTerms() {
+	idx := gauge.TermIndex()
+	terms := make([]string, 0, len(idx))
+	for t := range idx {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		fmt.Printf("%-28s", t)
+		for _, ti := range idx[t] {
+			fmt.Printf(" %s@%d", ti.Axis, ti.Tier)
+		}
+		fmt.Println()
+	}
+}
+
+func assess(file, component string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	reg := gauge.NewRegistry()
+	if err := json.Unmarshal(data, reg); err != nil {
+		fatal(err)
+	}
+	names := reg.Components()
+	if component != "" {
+		names = []string{component}
+	}
+	for _, name := range names {
+		as := reg.Get(name)
+		if as == nil {
+			fatal(fmt.Errorf("no assessment for component %q", name))
+		}
+		fmt.Printf("== %s\n   %s\n", name, as.Vector)
+		caps := gauge.UnlockedCapabilities(as.Vector)
+		if len(caps) > 0 {
+			fmt.Printf("   unlocked:")
+			for _, c := range caps {
+				fmt.Printf(" %s", c)
+			}
+			fmt.Println()
+		}
+		led := gauge.DebtLedger(name, as.Vector)
+		fmt.Printf("   debt: %d interventions, %.0f min per reuse\n",
+			led.InterventionCount(), led.MinutesPerReuse())
+		steps := gauge.PayoffCurve(as.Vector)
+		if len(steps) > 0 {
+			best := steps[0]
+			fmt.Printf("   best next investment: raise %s to tier %d (saves %.0f min, removes %d interventions)\n",
+				best.Axis, best.ToTier, best.MinutesSaved, best.Interventions)
+		}
+		fmt.Println()
+	}
+}

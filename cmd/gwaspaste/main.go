@@ -1,0 +1,69 @@
+// Command gwaspaste performs the two-phase column-wise paste of the GWAS
+// workflow (paper Section V-A). It is the executable the Skel-generated
+// run_paste.sh scripts invoke.
+//
+//	gwaspaste -inputs 'dir/sample_*.txt' -output matrix.tsv \
+//	          -workdir work -fanin 64 -parallel 8 [-keep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fairflow/internal/tabular"
+)
+
+func main() {
+	inputs := flag.String("inputs", "", "glob of input column files")
+	output := flag.String("output", "", "final pasted matrix path")
+	workdir := flag.String("workdir", "paste_work", "directory for phase intermediates")
+	fanin := flag.Int("fanin", 64, "max files merged by a single paste")
+	parallel := flag.Int("parallel", 8, "concurrent sub-pastes per phase")
+	keep := flag.Bool("keep", false, "keep phase intermediates")
+	flag.Parse()
+
+	if *inputs == "" || *output == "" {
+		fmt.Fprintln(os.Stderr, "gwaspaste: -inputs and -output are required")
+		os.Exit(2)
+	}
+	files, err := filepath.Glob(*inputs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no files match %q", *inputs))
+	}
+	sort.Strings(files)
+
+	plan, err := tabular.PlanPaste(files, *output, *workdir, *fanin)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gwaspaste: %d inputs, %d phases, %d tasks (max %d concurrent files per task)\n",
+		len(files), plan.Phases, len(plan.Tasks), plan.MaxConcurrentFiles())
+
+	start := time.Now()
+	rows, err := plan.Execute(tabular.ExecOptions{
+		Options:           tabular.Options{},
+		Parallelism:       *parallel,
+		KeepIntermediates: *keep,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cols, err := tabular.CountColumns(*output, tabular.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gwaspaste: wrote %s (%d rows × %d columns) in %.2fs\n",
+		*output, rows, cols, time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gwaspaste:", err)
+	os.Exit(1)
+}

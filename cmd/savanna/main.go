@@ -1,0 +1,170 @@
+// Command savanna executes materialised campaigns (paper Section IV): it is
+// the pilot runner that translates a campaign manifest into actual work,
+// tracks statuses in the campaign directory, and supports resubmission of
+// partially completed campaigns.
+//
+//	savanna run -campaign campaigns/<name> -app sleep -workers 8 [-sets N]
+//
+// Built-in demo apps:
+//
+//	sleep        sleeps params["ms"] milliseconds (default 10)
+//	irf-fit      fits one iRF model on a synthetic census table; the run's
+//	             params["feature"] selects the response column
+//	fail-some    fails when params["i"] is divisible by 7 (resubmission demo)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"fairflow/internal/census"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/iorf"
+	"fairflow/internal/provenance"
+	"fairflow/internal/savanna"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "run" {
+		fmt.Fprintln(os.Stderr, "usage: savanna run -campaign <dir> [-app sleep] [-workers 8] [-sets 0] [-prov out.jsonl]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dir := fs.String("campaign", "", "materialised campaign directory")
+	app := fs.String("app", "", "app implementation (default: the campaign's app name)")
+	workers := fs.Int("workers", 8, "worker pool size (the local pilot's nodes)")
+	sets := fs.Int("sets", 0, "if >0, use the set-synchronized baseline with this set size")
+	provOut := fs.String("prov", "", "write provenance JSONL here")
+	fs.Parse(os.Args[2:])
+
+	if *dir == "" {
+		fatal(fmt.Errorf("need -campaign"))
+	}
+	m, err := cheetah.LoadCampaignDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	appName := *app
+	if appName == "" {
+		appName = m.Campaign.App
+	}
+	reg := savanna.NewFuncRegistry(m.Campaign.App)
+	registerDemoApps(reg, m.Campaign.App, appName)
+
+	prov := provenance.NewStore()
+	eng := &savanna.LocalEngine{
+		Executor:    reg,
+		Workers:     *workers,
+		Prov:        prov,
+		CampaignDir: *dir,
+	}
+
+	// Resume: only run what has not succeeded yet (per directory statuses).
+	sum, err := cheetah.Status(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	pendingSet := map[string]bool{}
+	for _, id := range sum.PendingRuns {
+		pendingSet[id] = true
+	}
+	var todo []cheetah.Run
+	for _, r := range m.Runs {
+		if pendingSet[r.ID] {
+			todo = append(todo, r)
+		}
+	}
+	fmt.Printf("savanna: %d of %d runs pending\n", len(todo), len(m.Runs))
+
+	start := time.Now()
+	var results []savanna.RunResult
+	if *sets > 0 {
+		results, err = eng.RunSets(m.Campaign.Name, todo, *sets)
+	} else {
+		results, err = eng.RunAll(m.Campaign.Name, todo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var ok, failed int
+	for _, r := range results {
+		if r.Status == provenance.StatusSucceeded {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	fmt.Printf("savanna: %d succeeded, %d failed in %.2fs\n", ok, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		fmt.Println("savanna: re-run the same command to resubmit the failed set")
+	}
+	if *provOut != "" {
+		f, err := os.Create(*provOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prov.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("savanna: provenance written to %s\n", *provOut)
+	}
+}
+
+// registerDemoApps installs the built-in app implementations under the
+// campaign's app name so any campaign can be driven by a demo workload.
+func registerDemoApps(reg *savanna.FuncRegistry, campaignApp, impl string) {
+	var fn func(map[string]string) error
+	switch impl {
+	case "sleep", "":
+		fn = func(params map[string]string) error {
+			ms := 10
+			if v, err := strconv.Atoi(params["ms"]); err == nil {
+				ms = v
+			}
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return nil
+		}
+	case "fail-some":
+		fn = func(params map[string]string) error {
+			if i, err := strconv.Atoi(params["i"]); err == nil && i%7 == 0 {
+				return fmt.Errorf("planted failure at i=%d", i)
+			}
+			return nil
+		}
+	case "irf-fit":
+		data, err := census.Generate(census.Config{
+			Features: 24, Samples: 300, LatentFactors: 3, Noise: 0.3, Seed: 2019,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fn = func(params map[string]string) error {
+			target, err := strconv.Atoi(params["feature"])
+			if err != nil {
+				return fmt.Errorf("irf-fit needs a numeric 'feature' parameter")
+			}
+			_, err = iorf.LoopFitFeature(data.X, target%data.Features(), iorf.IRFConfig{
+				Forest: iorf.ForestConfig{
+					Trees: 16,
+					Tree:  iorf.TreeConfig{MaxDepth: 6, MinLeaf: 3},
+					Seed:  int64(target),
+				},
+				Iterations:  2,
+				WeightFloor: 0.05,
+			})
+			return err
+		}
+	default:
+		fatal(fmt.Errorf("unknown app %q (have: sleep, fail-some, irf-fit)", impl))
+	}
+	reg.Register(campaignApp, fn)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "savanna:", err)
+	os.Exit(1)
+}

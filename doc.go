@@ -1,0 +1,8 @@
+// Package fairflow is a from-scratch Go reproduction of "Reusability First:
+// Toward FAIR Workflows" (IEEE CLUSTER 2021): the six-gauge reusability
+// metadata model, the Skel model-driven generator, the Cheetah campaign
+// composer, the Savanna execution engine, and every substrate the paper's
+// four experiments depend on. See README.md for the tour and DESIGN.md for
+// the system inventory; the library lives under internal/, the executables
+// under cmd/, and runnable examples under examples/.
+package fairflow

@@ -1,0 +1,100 @@
+// Quickstart: assess a workflow's components on the six reusability gauges,
+// ask the automation planner what a reuse event needs, and see which gauge
+// investment pays off next.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairflow/internal/core"
+	"fairflow/internal/gauge"
+	"fairflow/internal/schema"
+)
+
+func main() {
+	// 1. Describe the data formats the workflow moves around.
+	formats := schema.NewRegistry()
+	must(formats.Register(schema.Format{
+		Name: "sensor-csv", Version: 1,
+		Family: schema.ASCII, Kind: schema.Table,
+		Fields: []schema.Field{
+			{Name: "t", Type: schema.Float64, Unit: "s"},
+			{Name: "value", Type: schema.Float64},
+		},
+	}))
+	must(formats.Register(schema.Format{
+		Name: "sensor-fbs", Version: 1,
+		Family: schema.SelfDescribing, Kind: schema.Table,
+		Fields: []schema.Field{
+			{Name: "t", Type: schema.Float64, Unit: "s"},
+			{Name: "value", Type: schema.Float64},
+		},
+	}))
+	must(formats.AddConverter(schema.Converter{
+		From: "sensor-csv@v1", To: "sensor-fbs@v1",
+		Apply: func(v any) (any, error) { return v, nil },
+	}))
+
+	// 2. Assess two components: a well-described producer and a black-box
+	//    consumer someone emailed you.
+	producer := &core.Component{
+		Name: "instrument-reader", Kind: core.Executable,
+		Assessment: gauge.NewAssessment("instrument-reader"),
+		Ports:      []core.Port{{Name: "out", Direction: core.Out, FormatID: "sensor-csv@v1"}},
+	}
+	must(producer.Assessment.Attest(gauge.DataAccess, 2, "reads POSIX CSV"))
+	must(producer.Assessment.Attest(gauge.DataSchema, 3, "schemas/sensor-csv.json"))
+	must(producer.Assessment.Attest(gauge.Granularity, 2, "templates/launch.tmpl"))
+
+	consumer := &core.Component{
+		Name: "legacy-analyzer", Kind: core.Executable,
+		Assessment: gauge.NewAssessment("legacy-analyzer"),
+		Ports:      []core.Port{{Name: "in", Direction: core.In, FormatID: "sensor-fbs@v1"}},
+	}
+
+	fmt.Println("gauge positions:")
+	fmt.Printf("  %-18s %s\n", producer.Name, producer.Assessment.Vector)
+	fmt.Printf("  %-18s %s\n", consumer.Name, consumer.Assessment.Vector)
+
+	// 3. Plan a reuse event for the two-step workflow.
+	w := &core.Workflow{
+		Name:       "quickstart",
+		Components: []*core.Component{producer, consumer},
+		Edges: []core.Edge{{
+			FromComponent: "instrument-reader", FromPort: "out",
+			ToComponent: "legacy-analyzer", ToPort: "in",
+		}},
+	}
+	planner := &core.Planner{Formats: formats}
+	plan, err := planner.PlanReuse(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.SortSteps(plan.Steps)
+	fmt.Printf("\nautomation plan (%d steps, %.0f%% automated):\n",
+		len(plan.Steps), plan.AutomationFraction()*100)
+	for _, s := range plan.Steps {
+		fmt.Printf("  [%-12s] %-40s %s\n", s.Kind, s.Subject, s.Detail)
+	}
+
+	// 4. What metadata investment pays off next for the black box?
+	fmt.Printf("\ntechnical debt of %s: %.0f human-minutes per reuse\n",
+		consumer.Name, gauge.DebtLedger(consumer.Name, consumer.Assessment.Vector).MinutesPerReuse())
+	fmt.Println("best next gauge investments:")
+	for i, step := range gauge.PayoffCurve(consumer.Assessment.Vector) {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  raise %-25s to tier %d → saves %.0f min/reuse\n",
+			step.Axis, step.ToTier, step.MinutesSaved)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

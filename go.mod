@@ -1,0 +1,3 @@
+module fairflow
+
+go 1.22

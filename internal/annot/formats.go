@@ -1,0 +1,411 @@
+package annot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// --- BED6 (0-based half-open) ---------------------------------------------
+
+// WriteBED emits BED6: chrom, start, end, name, score, strand.
+func WriteBED(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Features {
+		score := int64(0)
+		if f.Score >= 0 {
+			score = int64(f.Score)
+		}
+		name := f.Name
+		if name == "" {
+			name = "."
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%s\t%d\t%c\n",
+			f.Chrom, f.Start, f.End, name, score, f.Strand); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBED parses BED3/BED6 lines (track/browser/comment lines skipped).
+func ReadBED(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" || strings.HasPrefix(text, "#") ||
+			strings.HasPrefix(text, "track") || strings.HasPrefix(text, "browser") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("annot: BED line %d has %d fields, need ≥3", line, len(fields))
+		}
+		start, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: BED line %d start: %w", line, err)
+		}
+		end, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: BED line %d end: %w", line, err)
+		}
+		f := Feature{Chrom: fields[0], Start: start, End: end, Score: -1, Strand: NoStrand}
+		if len(fields) > 3 && fields[3] != "." {
+			f.Name = fields[3]
+		}
+		if len(fields) > 4 && fields[4] != "." {
+			score, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("annot: BED line %d score: %w", line, err)
+			}
+			f.Score = score
+		}
+		if len(fields) > 5 {
+			f.Strand, err = ParseStrand(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("annot: BED line %d: %w", line, err)
+			}
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("annot: BED line %d: %w", line, err)
+		}
+		s.Features = append(s.Features, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- GFF3 (1-based closed) --------------------------------------------------
+
+// WriteGFF3 emits GFF3 with the version pragma. The in-memory 0-based
+// half-open interval becomes 1-based closed: start+1, end.
+func WriteGFF3(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "##gff-version 3"); err != nil {
+		return err
+	}
+	for _, f := range s.Features {
+		source := f.Source
+		if source == "" {
+			source = "."
+		}
+		ftype := f.Type
+		if ftype == "" {
+			ftype = "region"
+		}
+		score := "."
+		if f.Score >= 0 {
+			score = strconv.FormatFloat(f.Score, 'g', -1, 64)
+		}
+		attrs := make([]string, 0, len(f.Attributes)+1)
+		if f.Name != "" {
+			attrs = append(attrs, "ID="+escapeGFF3(f.Name))
+		}
+		keys := make([]string, 0, len(f.Attributes))
+		for k := range f.Attributes {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			if k == "ID" && f.Name != "" {
+				continue
+			}
+			attrs = append(attrs, escapeGFF3(k)+"="+escapeGFF3(f.Attributes[k]))
+		}
+		col9 := "."
+		if len(attrs) > 0 {
+			col9 = strings.Join(attrs, ";")
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%d\t%s\t%c\t.\t%s\n",
+			f.Chrom, source, ftype, f.Start+1, f.End, score, f.Strand, col9); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGFF3 parses GFF3 (pragmas and comments skipped).
+func ReadGFF3(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 9 {
+			return nil, fmt.Errorf("annot: GFF3 line %d has %d fields, need 9", line, len(fields))
+		}
+		start, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: GFF3 line %d start: %w", line, err)
+		}
+		end, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: GFF3 line %d end: %w", line, err)
+		}
+		f := Feature{
+			Chrom: fields[0],
+			Start: start - 1, // to 0-based half-open
+			End:   end,
+			Score: -1,
+			Type:  fields[2],
+		}
+		if fields[1] != "." {
+			f.Source = fields[1]
+		}
+		if fields[5] != "." {
+			score, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("annot: GFF3 line %d score: %w", line, err)
+			}
+			f.Score = score
+		}
+		f.Strand, err = ParseStrand(fields[6])
+		if err != nil {
+			return nil, fmt.Errorf("annot: GFF3 line %d: %w", line, err)
+		}
+		if fields[8] != "." {
+			f.Attributes = map[string]string{}
+			for _, pair := range strings.Split(fields[8], ";") {
+				if pair == "" {
+					continue
+				}
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 {
+					return nil, fmt.Errorf("annot: GFF3 line %d bad attribute %q", line, pair)
+				}
+				key := unescapeGFF3(strings.TrimSpace(kv[0]))
+				val := unescapeGFF3(kv[1])
+				if key == "ID" {
+					f.Name = val
+				}
+				f.Attributes[key] = val
+			}
+			if len(f.Attributes) == 0 {
+				f.Attributes = nil
+			}
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("annot: GFF3 line %d: %w", line, err)
+		}
+		s.Features = append(s.Features, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- GTF2 (1-based closed, gene_id/transcript_id required) ------------------
+
+// WriteGTF2 emits GTF2. Features missing gene_id/transcript_id attributes
+// get them synthesised from the name (GTF2 requires both).
+func WriteGTF2(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Features {
+		source := f.Source
+		if source == "" {
+			source = "."
+		}
+		ftype := f.Type
+		if ftype == "" {
+			ftype = "exon"
+		}
+		score := "."
+		if f.Score >= 0 {
+			score = strconv.FormatFloat(f.Score, 'g', -1, 64)
+		}
+		geneID := f.attr("gene_id", f.Name)
+		txID := f.attr("transcript_id", f.Name)
+		if geneID == "" {
+			geneID = "unknown"
+		}
+		if txID == "" {
+			txID = "unknown"
+		}
+		attrs := fmt.Sprintf(`gene_id "%s"; transcript_id "%s";`, geneID, txID)
+		keys := make([]string, 0, len(f.Attributes))
+		for k := range f.Attributes {
+			if k != "gene_id" && k != "transcript_id" {
+				keys = append(keys, k)
+			}
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			attrs += fmt.Sprintf(` %s "%s";`, k, f.Attributes[k])
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%d\t%s\t%c\t.\t%s\n",
+			f.Chrom, source, ftype, f.Start+1, f.End, score, f.Strand, attrs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGTF2 parses GTF2 lines.
+func ReadGTF2(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 9 {
+			return nil, fmt.Errorf("annot: GTF2 line %d has %d fields, need 9", line, len(fields))
+		}
+		start, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: GTF2 line %d start: %w", line, err)
+		}
+		end, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: GTF2 line %d end: %w", line, err)
+		}
+		f := Feature{Chrom: fields[0], Start: start - 1, End: end, Score: -1, Type: fields[2]}
+		if fields[1] != "." {
+			f.Source = fields[1]
+		}
+		if fields[5] != "." {
+			score, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("annot: GTF2 line %d score: %w", line, err)
+			}
+			f.Score = score
+		}
+		f.Strand, err = ParseStrand(fields[6])
+		if err != nil {
+			return nil, fmt.Errorf("annot: GTF2 line %d: %w", line, err)
+		}
+		f.Attributes = map[string]string{}
+		for _, chunk := range strings.Split(fields[8], ";") {
+			chunk = strings.TrimSpace(chunk)
+			if chunk == "" {
+				continue
+			}
+			sp := strings.SplitN(chunk, " ", 2)
+			if len(sp) != 2 {
+				return nil, fmt.Errorf("annot: GTF2 line %d bad attribute %q", line, chunk)
+			}
+			f.Attributes[sp[0]] = strings.Trim(sp[1], `"`)
+		}
+		if gid, ok := f.Attributes["gene_id"]; !ok || gid == "" {
+			return nil, fmt.Errorf("annot: GTF2 line %d missing gene_id", line)
+		}
+		f.Name = f.Attributes["gene_id"]
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("annot: GTF2 line %d: %w", line, err)
+		}
+		s.Features = append(s.Features, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- PSL subset (0-based half-open alignment summaries) ---------------------
+
+// WritePSL emits a PSL-shaped line per feature: matches (=length), strand,
+// qName, tName, tStart, tEnd, using zeroes for the alignment detail columns
+// this model does not carry. This mirrors how annotation pipelines abuse PSL
+// as an interval container.
+func WritePSL(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Features {
+		name := f.Name
+		if name == "" {
+			name = "."
+		}
+		strand := string(f.Strand)
+		if f.Strand == NoStrand {
+			strand = "+"
+		}
+		// matches misMatches repMatches nCount qNumInsert qBaseInsert
+		// tNumInsert tBaseInsert strand qName qSize qStart qEnd
+		// tName tSize tStart tEnd blockCount blockSizes qStarts tStarts
+		if _, err := fmt.Fprintf(bw, "%d\t0\t0\t0\t0\t0\t0\t0\t%s\t%s\t%d\t0\t%d\t%s\t0\t%d\t%d\t1\t%d,\t0,\t%d,\n",
+			f.Length(), strand, name, f.Length(), f.Length(),
+			f.Chrom, f.Start, f.End, f.Length(), f.Start); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPSL parses the PSL subset written by WritePSL (and any standard PSL
+// body): it recovers target intervals as features. Header lines ("psLayout",
+// separator dashes, column headers) are skipped.
+func ReadPSL(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" || strings.HasPrefix(text, "psLayout") ||
+			strings.HasPrefix(text, "match") || strings.HasPrefix(text, "-") ||
+			strings.HasPrefix(text, " ") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 17 {
+			return nil, fmt.Errorf("annot: PSL line %d has %d fields, need ≥17", line, len(fields))
+		}
+		strand, err := ParseStrand(string(fields[8][0]))
+		if err != nil {
+			return nil, fmt.Errorf("annot: PSL line %d: %w", line, err)
+		}
+		tStart, err := strconv.ParseInt(fields[15], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: PSL line %d tStart: %w", line, err)
+		}
+		tEnd, err := strconv.ParseInt(fields[16], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("annot: PSL line %d tEnd: %w", line, err)
+		}
+		f := Feature{
+			Chrom: fields[13], Start: tStart, End: tEnd,
+			Name: fields[9], Score: -1, Strand: strand,
+		}
+		if f.Name == "." {
+			f.Name = ""
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("annot: PSL line %d: %w", line, err)
+		}
+		s.Features = append(s.Features, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sortStrings is a tiny local sort to avoid importing sort twice in
+// different files' hot paths.
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package annot
+
+import (
+	"bytes"
+	"fmt"
+
+	"fairflow/internal/schema"
+)
+
+// Format IDs under which the annotation formats register.
+const (
+	BEDID  = "bed@v1"
+	GFF3ID = "gff3@v1"
+	GTF2ID = "gtf2@v1"
+	PSLID  = "psl@v1"
+)
+
+// RegisterFormats adds the four annotation formats and the converter edges
+// between them to a schema registry, making the Section II-A wrangling
+// automatable by the core planner. Conversions that drop information are
+// marked lossy (BED and PSL cannot carry GFF3/GTF2 attributes or feature
+// types), so the conversion planner prefers attribute-preserving paths.
+func RegisterFormats(reg *schema.Registry) error {
+	formats := []schema.Format{
+		{Name: "bed", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{
+				{Name: "chrom", Type: schema.String},
+				{Name: "start", Type: schema.Int64},
+				{Name: "end", Type: schema.Int64},
+				{Name: "name", Type: schema.String},
+				{Name: "score", Type: schema.Float64},
+				{Name: "strand", Type: schema.String},
+			}},
+		{Name: "gff3", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{
+				{Name: "seqid", Type: schema.String},
+				{Name: "source", Type: schema.String},
+				{Name: "type", Type: schema.String},
+				{Name: "start", Type: schema.Int64},
+				{Name: "end", Type: schema.Int64},
+				{Name: "score", Type: schema.Float64},
+				{Name: "strand", Type: schema.String},
+				{Name: "attributes", Type: schema.String},
+			}},
+		{Name: "gtf2", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{
+				{Name: "seqname", Type: schema.String},
+				{Name: "source", Type: schema.String},
+				{Name: "feature", Type: schema.String},
+				{Name: "start", Type: schema.Int64},
+				{Name: "end", Type: schema.Int64},
+				{Name: "score", Type: schema.Float64},
+				{Name: "strand", Type: schema.String},
+				{Name: "attributes", Type: schema.String},
+			}},
+		{Name: "psl", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{
+				{Name: "tName", Type: schema.String},
+				{Name: "tStart", Type: schema.Int64},
+				{Name: "tEnd", Type: schema.Int64},
+				{Name: "qName", Type: schema.String},
+				{Name: "strand", Type: schema.String},
+			}},
+	}
+	for _, f := range formats {
+		if err := reg.Register(f); err != nil {
+			return err
+		}
+	}
+
+	type codec struct {
+		read  func(*bytes.Reader) (*Set, error)
+		write func(*bytes.Buffer, *Set) error
+	}
+	codecs := map[string]codec{
+		BEDID: {
+			func(r *bytes.Reader) (*Set, error) { return ReadBED(r) },
+			func(w *bytes.Buffer, s *Set) error { return WriteBED(w, s) },
+		},
+		GFF3ID: {
+			func(r *bytes.Reader) (*Set, error) { return ReadGFF3(r) },
+			func(w *bytes.Buffer, s *Set) error { return WriteGFF3(w, s) },
+		},
+		GTF2ID: {
+			func(r *bytes.Reader) (*Set, error) { return ReadGTF2(r) },
+			func(w *bytes.Buffer, s *Set) error { return WriteGTF2(w, s) },
+		},
+		PSLID: {
+			func(r *bytes.Reader) (*Set, error) { return ReadPSL(r) },
+			func(w *bytes.Buffer, s *Set) error { return WritePSL(w, s) },
+		},
+	}
+	// lossy[to] marks targets that cannot represent types/attributes.
+	lossyTarget := map[string]bool{BEDID: true, PSLID: true}
+
+	for fromID, from := range codecs {
+		for toID, to := range codecs {
+			if fromID == toID {
+				continue
+			}
+			from, to := from, to
+			conv := schema.Converter{
+				From:  fromID,
+				To:    toID,
+				Lossy: lossyTarget[toID] && !lossyTarget[fromID],
+				Cost:  1,
+				Apply: func(v any) (any, error) {
+					data, ok := v.([]byte)
+					if !ok {
+						return nil, fmt.Errorf("annot: converter expects []byte, got %T", v)
+					}
+					set, err := from.read(bytes.NewReader(data))
+					if err != nil {
+						return nil, err
+					}
+					var out bytes.Buffer
+					if err := to.write(&out, set); err != nil {
+						return nil, err
+					}
+					return out.Bytes(), nil
+				},
+			}
+			if err := reg.AddConverter(conv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package cheetah
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Manifest is the interoperability layer between composition (Cheetah) and
+// execution (Savanna): "an abstract manifest of the campaign ... a JSON
+// schema to describe the full campaign, which includes the science
+// applications [and] parameter sweeps declared by the user". Any execution
+// engine that understands the manifest can run the campaign.
+type Manifest struct {
+	Version  int      `json:"version"`
+	Campaign Campaign `json:"campaign"`
+	Runs     []Run    `json:"runs"`
+}
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// BuildManifest validates the campaign and enumerates its runs.
+func BuildManifest(c Campaign) (*Manifest, error) {
+	runs, err := c.EnumerateRuns()
+	if err != nil {
+		return nil, err
+	}
+	return &Manifest{Version: ManifestVersion, Campaign: c, Runs: runs}, nil
+}
+
+// Write serialises the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses and validates a manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("cheetah: parsing manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("cheetah: unsupported manifest version %d", m.Version)
+	}
+	if err := m.Campaign.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Runs) != m.Campaign.Size() {
+		return nil, fmt.Errorf("cheetah: manifest lists %d runs for a campaign of %d", len(m.Runs), m.Campaign.Size())
+	}
+	return &m, nil
+}
+
+// RunStatus is the per-run execution status recorded in the campaign
+// directory by the execution engine.
+type RunStatus string
+
+// Run statuses in the campaign directory schema.
+const (
+	RunPending   RunStatus = "pending"
+	RunRunning   RunStatus = "running"
+	RunSucceeded RunStatus = "succeeded"
+	RunFailed    RunStatus = "failed"
+)
+
+// Materialize creates the campaign's directory schema under root:
+//
+//	root/<campaign>/campaign.json           — the manifest
+//	root/<campaign>/<group>/<sweep>/run-N/  — one directory per run
+//	    params.json                         — the run's sweep point
+//	    status                              — pending|running|succeeded|failed
+//
+// "The composition engine further adopts its own directory schema to
+// represent a campaign end-point... campaign metadata is hidden from the
+// user."
+func (m *Manifest) Materialize(root string) (string, error) {
+	dir := filepath.Join(root, m.Campaign.Name)
+	if _, err := os.Stat(dir); err == nil {
+		return "", fmt.Errorf("cheetah: campaign directory %s already exists", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f, err := os.Create(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		return "", err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	for _, run := range m.Runs {
+		runDir := filepath.Join(dir, run.ID)
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			return "", err
+		}
+		params, err := json.MarshalIndent(run.Params, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(runDir, "params.json"), params, 0o644); err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(runDir, "status"), []byte(RunPending), 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dir, nil
+}
+
+// LoadCampaignDir reads the manifest back from a materialised campaign
+// directory.
+func LoadCampaignDir(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}
+
+// SetRunStatus records a run's status in the directory schema.
+func SetRunStatus(dir string, runID string, status RunStatus) error {
+	path := filepath.Join(dir, runID, "status")
+	if _, err := os.Stat(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("cheetah: unknown run %q: %w", runID, err)
+	}
+	return os.WriteFile(path, []byte(status), 0o644)
+}
+
+// StatusSummary aggregates run statuses — the "API to submit a campaign and
+// query its status".
+type StatusSummary struct {
+	Total    int               `json:"total"`
+	ByStatus map[RunStatus]int `json:"by_status"`
+	// PendingRuns lists runs not yet succeeded (the resubmission set).
+	PendingRuns []string `json:"pending_runs,omitempty"`
+}
+
+// Status walks a materialised campaign directory and summarises it.
+func Status(dir string) (*StatusSummary, error) {
+	m, err := LoadCampaignDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sum := &StatusSummary{ByStatus: map[RunStatus]int{}}
+	for _, run := range m.Runs {
+		data, err := os.ReadFile(filepath.Join(dir, run.ID, "status"))
+		if err != nil {
+			return nil, err
+		}
+		st := RunStatus(data)
+		sum.Total++
+		sum.ByStatus[st]++
+		if st != RunSucceeded {
+			sum.PendingRuns = append(sum.PendingRuns, run.ID)
+		}
+	}
+	sort.Strings(sum.PendingRuns)
+	return sum, nil
+}

@@ -1,0 +1,30 @@
+package ckpt_test
+
+import (
+	"fmt"
+
+	"fairflow/internal/ckpt"
+)
+
+// Example composes checkpoint policies the way the paper's Section V-B
+// describes: an I/O overhead budget with a minimum-frequency floor.
+func Example() {
+	policy := ckpt.AnyOf{Policies: []ckpt.Policy{
+		ckpt.OverheadBudget{MaxOverhead: 0.10},
+		ckpt.MinGap{Gap: 900},
+	}}
+	fmt.Println(policy.Name())
+
+	// Within budget → write.
+	st := ckpt.State{Elapsed: 1000, CheckpointTime: 40, LastWriteSeconds: 40, SinceCheckpoint: 100}
+	fmt.Println("within budget:", policy.ShouldCheckpoint(st))
+
+	// Over budget but 15+ minutes since the last checkpoint → the floor
+	// forces a write anyway.
+	st = ckpt.State{Elapsed: 1000, CheckpointTime: 300, LastWriteSeconds: 100, SinceCheckpoint: 901}
+	fmt.Println("floor fires:", policy.ShouldCheckpoint(st))
+	// Output:
+	// any-of(overhead-budget(10%), min-gap(900s))
+	// within budget: true
+	// floor fires: true
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fairflow/internal/gauge"
+)
+
+// DOT renders the workflow as a Graphviz digraph: one node per component
+// (labelled with its kind and gauge summary), one edge per port connection
+// (labelled with the format hand-off). Pipe it through `dot -Tsvg` to get
+// the Fig. 5-style architecture views.
+func (w *Workflow) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", w.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, c := range w.Components {
+		v := c.Assessment.Vector
+		label := fmt.Sprintf("%s\\n(%s)\\ndata %d/%d/%d  sw %d/%d/%d",
+			c.Name, c.Kind,
+			v.Get(gauge.DataAccess), v.Get(gauge.DataSchema), v.Get(gauge.DataSemantics),
+			v.Get(gauge.Granularity), v.Get(gauge.Customizability), v.Get(gauge.Provenance))
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", c.Name, label)
+	}
+	for _, e := range w.Edges {
+		from, _ := w.Component(e.FromComponent)
+		to, _ := w.Component(e.ToComponent)
+		label := ""
+		if from != nil && to != nil {
+			fp, _ := from.Port(e.FromPort)
+			tp, _ := to.Port(e.ToPort)
+			switch {
+			case fp.FormatID == "" || tp.FormatID == "":
+				label = "?"
+			case fp.FormatID == tp.FormatID:
+				label = fp.FormatID
+			default:
+				label = fp.FormatID + " → " + tp.FormatID
+			}
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.FromComponent, e.ToComponent, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

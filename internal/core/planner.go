@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fairflow/internal/gauge"
+	"fairflow/internal/schema"
+)
+
+// StepKind classifies one planned step of a reuse event.
+type StepKind string
+
+// Planner step kinds.
+const (
+	// StepDirect: the edge's formats already match; nothing to do.
+	StepDirect StepKind = "direct"
+	// StepAutoConvert: the planner synthesises a conversion pipeline.
+	StepAutoConvert StepKind = "auto-convert"
+	// StepGenerate: a component's concrete expression is regenerated from
+	// its customization model.
+	StepGenerate StepKind = "generate"
+	// StepHuman: metadata is insufficient; a human must intervene.
+	StepHuman StepKind = "human"
+)
+
+// Step is one element of an automation plan.
+type Step struct {
+	Kind StepKind `json:"kind"`
+	// Subject names the edge or component the step concerns.
+	Subject string `json:"subject"`
+	// Detail explains the step (conversion hops, missing tiers, ...).
+	Detail string `json:"detail"`
+	// Gaps, for human steps, lists the gauge raises that would automate it.
+	Gaps map[gauge.Axis]gauge.Tier `json:"gaps,omitempty"`
+}
+
+// Plan is the automation planner's output for one workflow reuse event.
+type Plan struct {
+	Workflow string `json:"workflow"`
+	Steps    []Step `json:"steps"`
+}
+
+// Automated counts non-human steps.
+func (p Plan) Automated() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Kind != StepHuman {
+			n++
+		}
+	}
+	return n
+}
+
+// HumanSteps returns only the human steps.
+func (p Plan) HumanSteps() []Step {
+	var out []Step
+	for _, s := range p.Steps {
+		if s.Kind == StepHuman {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AutomationFraction is automated steps over total steps (1.0 for an empty
+// plan: nothing needed doing).
+func (p Plan) AutomationFraction() float64 {
+	if len(p.Steps) == 0 {
+		return 1
+	}
+	return float64(p.Automated()) / float64(len(p.Steps))
+}
+
+// Planner builds automation plans from gauge metadata and a schema
+// registry.
+type Planner struct {
+	// Formats resolves format IDs and plans conversions.
+	Formats *schema.Registry
+}
+
+// PlanReuse walks the workflow and classifies every edge and component:
+// edges become direct / auto-convert / human steps depending on schema
+// metadata and conversion availability; components with machine-actionable
+// customization models become generate steps, the rest become human steps
+// unless their launch is already templated (granularity tier ≥2).
+func (pl *Planner) PlanReuse(w *Workflow) (*Plan, error) {
+	if pl.Formats == nil {
+		return nil, fmt.Errorf("core: planner needs a format registry")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Workflow: w.Name}
+
+	for _, e := range w.Edges {
+		from, _ := w.Component(e.FromComponent)
+		to, _ := w.Component(e.ToComponent)
+		fp, _ := from.Port(e.FromPort)
+		tp, _ := to.Port(e.ToPort)
+		plan.Steps = append(plan.Steps, pl.planEdge(e, from, to, fp, tp))
+	}
+
+	order, _ := w.TopoOrder()
+	for _, name := range order {
+		c, _ := w.Component(name)
+		plan.Steps = append(plan.Steps, pl.planComponent(c))
+	}
+	return plan, nil
+}
+
+func (pl *Planner) planEdge(e Edge, from, to *Component, fp, tp Port) Step {
+	subject := e.String()
+	// The "first precious" pattern (Section III): the consumer calibrates
+	// on its first element, so reuse must preserve delivery order and
+	// completeness. Automating such an edge requires the producer to have
+	// its consumption semantics recorded (data-semantics ≥ 1); otherwise a
+	// human must verify the contract.
+	if hasTerm(tp.SemanticTerms, "first-precious") &&
+		from.Assessment.Vector.Get(gauge.DataSemantics) < 1 {
+		return Step{Kind: StepHuman, Subject: subject,
+			Detail: "consumer has first-precious input semantics but the producer's delivery semantics are unrecorded; verify ordering by hand",
+			Gaps:   map[gauge.Axis]gauge.Tier{gauge.DataSemantics: 1}}
+	}
+	// Without schema metadata on both ends, a human reverse-engineers the
+	// hand-off.
+	if fp.FormatID == "" || tp.FormatID == "" {
+		gaps := map[gauge.Axis]gauge.Tier{}
+		if fp.FormatID == "" {
+			gaps[gauge.DataSchema] = 1
+		}
+		if tp.FormatID == "" {
+			gaps[gauge.DataSchema] = 1
+		}
+		return Step{Kind: StepHuman, Subject: subject,
+			Detail: "port formats unrecorded; hand-wire the data hand-off",
+			Gaps:   gaps}
+	}
+	if fp.FormatID == tp.FormatID {
+		return Step{Kind: StepDirect, Subject: subject, Detail: "formats match"}
+	}
+	// Differing formats: auto-conversion needs the producer's CapAutoConvert
+	// capability (schema tier 3 + access tier 2) and an actual plan.
+	if !gauge.Unlocked(from.Assessment.Vector, gauge.CapAutoConvert) {
+		gaps, _ := gauge.MissingFor(from.Assessment.Vector, gauge.CapAutoConvert)
+		return Step{Kind: StepHuman, Subject: subject,
+			Detail: fmt.Sprintf("convert %s to %s by hand: producer metadata below the auto-conversion tiers", fp.FormatID, tp.FormatID),
+			Gaps:   gaps}
+	}
+	cp, err := pl.Formats.PlanConversion(fp.FormatID, tp.FormatID)
+	if err != nil {
+		return Step{Kind: StepHuman, Subject: subject,
+			Detail: fmt.Sprintf("no registered conversion path %s → %s; write one", fp.FormatID, tp.FormatID)}
+	}
+	return Step{Kind: StepAutoConvert, Subject: subject,
+		Detail: fmt.Sprintf("%d-hop conversion %s → %s (cost %.1f, lossy=%v)",
+			len(cp.Steps), fp.FormatID, tp.FormatID, cp.Cost(), cp.Lossy())}
+}
+
+func (pl *Planner) planComponent(c *Component) Step {
+	v := c.Assessment.Vector
+	if c.Customization != nil && v.Get(gauge.Customizability) >= 2 {
+		return Step{Kind: StepGenerate, Subject: c.Name,
+			Detail: fmt.Sprintf("regenerate from model %q", c.Customization.Name)}
+	}
+	if v.Get(gauge.Granularity) >= 2 {
+		return Step{Kind: StepDirect, Subject: c.Name,
+			Detail: "launch templates recorded; reuse as-is"}
+	}
+	gaps, _ := gauge.MissingFor(v, gauge.CapTemplateLaunch)
+	return Step{Kind: StepHuman, Subject: c.Name,
+		Detail: "no launch templates; adapt build/launch scripts by hand",
+		Gaps:   gaps}
+}
+
+// ContinuumPoint is one step along the reusability continuum: a gauge
+// vector and the automation it buys.
+type ContinuumPoint struct {
+	Label              string  `json:"label"`
+	HumanSteps         int     `json:"human_steps"`
+	AutomationFraction float64 `json:"automation_fraction"`
+	DebtMinutes        float64 `json:"debt_minutes"`
+}
+
+// Continuum evaluates the workflow's automation at successive metadata
+// investments: for each named vector upgrade (applied cumulatively to every
+// component), it re-plans and reports the remaining human effort. This is
+// the experiment behind the paper's claim that reusability is "a continuum
+// of actions that may require human intervention or may be automatable".
+func (pl *Planner) Continuum(w *Workflow, stages []ContinuumStage) ([]ContinuumPoint, error) {
+	var out []ContinuumPoint
+	// Work on a deep-ish copy of assessments so callers keep their state.
+	saved := make([]gauge.Vector, len(w.Components))
+	for i, c := range w.Components {
+		saved[i] = c.Assessment.Vector.Clone()
+	}
+	defer func() {
+		for i, c := range w.Components {
+			c.Assessment.Vector = saved[i]
+		}
+	}()
+
+	for _, stage := range stages {
+		for _, c := range w.Components {
+			for axis, tier := range stage.Raise {
+				if err := c.Assessment.Vector.Raise(axis, tier); err != nil {
+					return nil, err
+				}
+			}
+		}
+		plan, err := pl.PlanReuse(w)
+		if err != nil {
+			return nil, err
+		}
+		_, minutes := w.Debt()
+		out = append(out, ContinuumPoint{
+			Label:              stage.Label,
+			HumanSteps:         len(plan.HumanSteps()),
+			AutomationFraction: plan.AutomationFraction(),
+			DebtMinutes:        minutes,
+		})
+	}
+	return out, nil
+}
+
+// ContinuumStage is one cumulative metadata investment.
+type ContinuumStage struct {
+	Label string
+	Raise map[gauge.Axis]gauge.Tier
+}
+
+// hasTerm reports whether terms contains term.
+func hasTerm(terms []string, term string) bool {
+	for _, t := range terms {
+		if t == term {
+			return true
+		}
+	}
+	return false
+}
+
+// SortSteps orders steps human-first (the actionable list), then by
+// subject.
+func SortSteps(steps []Step) {
+	rank := map[StepKind]int{StepHuman: 0, StepAutoConvert: 1, StepGenerate: 2, StepDirect: 3}
+	sort.SliceStable(steps, func(i, j int) bool {
+		if rank[steps[i].Kind] != rank[steps[j].Kind] {
+			return rank[steps[i].Kind] < rank[steps[j].Kind]
+		}
+		return steps[i].Subject < steps[j].Subject
+	})
+}

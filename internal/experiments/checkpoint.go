@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fairflow/internal/ckpt"
+	"fairflow/internal/expt"
+)
+
+// CheckpointSweepConfig sizes the Fig. 3 reproduction. The zero value of
+// Scale runs the paper-scale experiment (50 steps × 1 TB on 128 nodes).
+type CheckpointSweepConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// RunsPerBudget averages filesystem noise per budget point.
+	RunsPerBudget int
+}
+
+// RunCheckpointSweep reproduces Fig. 3: number of checkpoints written as a
+// function of the permitted I/O overhead percentage.
+func RunCheckpointSweep(cfg CheckpointSweepConfig) ([]ckpt.SweepPoint, error) {
+	scfg := ckpt.DefaultSweepConfig(cfg.Seed)
+	if cfg.RunsPerBudget > 0 {
+		scfg.RunsPerBudget = cfg.RunsPerBudget
+	}
+	return ckpt.OverheadSweep(scfg)
+}
+
+// CheckpointSweepFigure renders Fig. 3.
+func CheckpointSweepFigure(points []ckpt.SweepPoint) *expt.Figure {
+	f := expt.NewFigure("Fig. 3", "Checkpoints written vs permitted I/O overhead (50 steps × 1 TB, 128 nodes)",
+		"permitted I/O overhead (%)", "checkpoints written")
+	s := f.AddSeries("overhead-budget policy (mean)")
+	realised := f.AddSeries("realised overhead (%)")
+	for _, p := range points {
+		s.Add(p.Budget*100, p.MeanCheckpoints)
+		realised.Add(p.Budget*100, p.MeanOverhead*100)
+	}
+	return f
+}
+
+// RunCheckpointVariation reproduces Fig. 4: the run-to-run spread of
+// checkpoint counts at a fixed 10% budget.
+func RunCheckpointVariation(seed int64, runs int) ([]ckpt.RunStats, error) {
+	scfg := ckpt.DefaultSweepConfig(seed)
+	return ckpt.RunVariation(scfg, 0.10, runs)
+}
+
+// CheckpointVariationFigure renders Fig. 4.
+func CheckpointVariationFigure(runs []ckpt.RunStats) *expt.Figure {
+	f := expt.NewFigure("Fig. 4", "Run-to-run variation in checkpoints written at 10% max I/O overhead",
+		"run index", "checkpoints written")
+	s := f.AddSeries("overhead-budget(10%)")
+	for i, r := range runs {
+		s.Add(float64(i+1), float64(r.CheckpointsWritten))
+	}
+	return f
+}
+
+// CheckpointVariationSummary tabulates the Fig. 4 spread plus the
+// fixed-interval ablation.
+func CheckpointVariationSummary(runs []ckpt.RunStats, cmp *ckpt.PolicyComparison) *expt.Table {
+	counts := make([]float64, len(runs))
+	overheads := make([]float64, len(runs))
+	for i, r := range runs {
+		counts[i] = float64(r.CheckpointsWritten)
+		overheads[i] = r.OverheadFraction() * 100
+	}
+	cs, os := expt.Summarize(counts), expt.Summarize(overheads)
+	t := expt.NewTable("Fig. 4 summary + policy ablation",
+		"quantity", "min", "median", "max", "mean")
+	t.AddRow("checkpoints @10% budget", cs.Min, cs.Median, cs.Max, cs.Mean)
+	t.AddRow("realised overhead %", os.Min, os.Median, os.Max, os.Mean)
+	if cmp != nil {
+		t.AddRow(fmt.Sprintf("ablation: %s wrote", cmp.Fixed.Policy),
+			cmp.Fixed.CheckpointsWritten, "", "",
+			fmt.Sprintf("overhead %.1f%%", cmp.Fixed.OverheadFraction()*100))
+		t.AddRow(fmt.Sprintf("ablation: %s wrote", cmp.Budget.Policy),
+			cmp.Budget.CheckpointsWritten, "", "",
+			fmt.Sprintf("overhead %.1f%%", cmp.Budget.OverheadFraction()*100))
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fairflow/internal/core"
+	"fairflow/internal/expt"
+	"fairflow/internal/gauge"
+	"fairflow/internal/schema"
+	"fairflow/internal/skel"
+)
+
+// BuildReferenceWorkflow assembles a gauge-annotated model of the paper's
+// GWAS pipeline: raw genotype columns → format wrangling → paste/assembly →
+// association scan. It starts at black-box metadata so the continuum
+// experiment can raise it stage by stage.
+func BuildReferenceWorkflow() (*core.Workflow, *schema.Registry, error) {
+	reg := schema.NewRegistry()
+	formats := []schema.Format{
+		{Name: "rawcol", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{{Name: "genotype", Type: schema.Int64}}},
+		{Name: "genomatrix", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{{Name: "genotype", Type: schema.Int64, Shape: []int{0, 0}}}},
+		{Name: "assoc", Version: 1, Family: schema.ASCII, Kind: schema.Table,
+			Fields: []schema.Field{{Name: "snp", Type: schema.Int64}, {Name: "neglogp", Type: schema.Float64}}},
+	}
+	for _, f := range formats {
+		if err := reg.Register(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	pass := func(v any) (any, error) { return v, nil }
+	if err := reg.AddConverter(schema.Converter{From: "rawcol@v1", To: "genomatrix@v1", Apply: pass}); err != nil {
+		return nil, nil, err
+	}
+
+	mkComponent := func(name string, kind core.GranularityKind, ports []core.Port) *core.Component {
+		return &core.Component{
+			Name: name, Kind: kind,
+			Assessment: gauge.NewAssessment(name),
+			Ports:      ports,
+		}
+	}
+	// The wrangling step is deliberately NOT a component: the source emits
+	// raw per-sample columns while the assembler consumes the matrix format,
+	// so the source→assembler edge carries the format mismatch that either a
+	// human wrangles (low tiers) or the planner auto-converts (full schema).
+	instrument := mkComponent("genotype-source", core.Executable, []core.Port{
+		{Name: "columns", Direction: core.Out},
+	})
+	paste := mkComponent("paste-assembler", core.BundledWorkflow, []core.Port{
+		{Name: "in", Direction: core.In},
+		{Name: "matrix", Direction: core.Out},
+	})
+	scan := mkComponent("association-scan", core.Executable, []core.Port{
+		{Name: "matrix", Direction: core.In},
+		{Name: "hits", Direction: core.Out},
+	})
+
+	w := &core.Workflow{
+		Name:       "gwas-pipeline",
+		Components: []*core.Component{instrument, paste, scan},
+		Edges: []core.Edge{
+			{FromComponent: "genotype-source", FromPort: "columns", ToComponent: "paste-assembler", ToPort: "in"},
+			{FromComponent: "paste-assembler", FromPort: "matrix", ToComponent: "association-scan", ToPort: "matrix"},
+		},
+	}
+	return w, reg, nil
+}
+
+// annotateFormats attaches the format IDs the higher continuum stages
+// assume (the metadata a schema investment records).
+func annotateFormats(w *core.Workflow) {
+	set := func(comp, port, format string) {
+		c, _ := w.Component(comp)
+		for i := range c.Ports {
+			if c.Ports[i].Name == port {
+				c.Ports[i].FormatID = format
+			}
+		}
+	}
+	set("genotype-source", "columns", "rawcol@v1")
+	set("paste-assembler", "in", "genomatrix@v1") // mismatch vs rawcol@v1: the wrangling gap
+	set("paste-assembler", "matrix", "genomatrix@v1")
+	set("association-scan", "matrix", "genomatrix@v1")
+	set("association-scan", "hits", "assoc@v1")
+}
+
+// RunDebtContinuum evaluates the reusability continuum on the reference
+// workflow: at each cumulative metadata stage, how many human steps remain
+// and what the modelled debt costs.
+func RunDebtContinuum() ([]core.ContinuumPoint, error) {
+	w, reg, err := BuildReferenceWorkflow()
+	if err != nil {
+		return nil, err
+	}
+	annotateFormats(w)
+	// The final stage claims machine-actionable customizability for every
+	// component, which requires each to carry a generation model.
+	for _, c := range w.Components {
+		c.Customization = &skel.ModelSpec{Name: c.Name + "-model", Fields: []skel.FieldSpec{
+			{Name: "fan_in", Kind: skel.KindInt, Default: 64},
+		}}
+	}
+	pl := &core.Planner{Formats: reg}
+	stages := []core.ContinuumStage{
+		{Label: "black-box", Raise: map[gauge.Axis]gauge.Tier{}},
+		{Label: "+access/protocol", Raise: map[gauge.Axis]gauge.Tier{gauge.DataAccess: 1}},
+		{Label: "+schema recorded", Raise: map[gauge.Axis]gauge.Tier{gauge.DataSchema: 2, gauge.DataAccess: 2}},
+		{Label: "+full schema", Raise: map[gauge.Axis]gauge.Tier{gauge.DataSchema: 3, gauge.DataSemantics: 1}},
+		{Label: "+launch templates", Raise: map[gauge.Axis]gauge.Tier{gauge.Granularity: 2, gauge.Customizability: 1}},
+		{Label: "+generation models", Raise: map[gauge.Axis]gauge.Tier{gauge.Customizability: 2, gauge.Provenance: 2}},
+	}
+	return pl.Continuum(w, stages)
+}
+
+// DebtContinuumTable renders the continuum as a table.
+func DebtContinuumTable(points []core.ContinuumPoint) *expt.Table {
+	t := expt.NewTable("Reusability continuum — gauge investment vs remaining human effort (GWAS pipeline)",
+		"metadata stage", "human steps", "automation fraction", "debt (min/reuse)")
+	for _, p := range points {
+		t.AddRow(p.Label, p.HumanSteps, p.AutomationFraction, p.DebtMinutes)
+	}
+	return t
+}

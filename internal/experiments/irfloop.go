@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"fairflow/internal/census"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/expt"
+	"fairflow/internal/iorf"
+	"fairflow/internal/savanna"
+)
+
+// IRFLoopConfig sizes the Section V-D experiment.
+type IRFLoopConfig struct {
+	// Features is the campaign size (paper: 1606 — one iRF fit per feature).
+	Features int
+	// Nodes and WalltimeSeconds shape each allocation (paper: 20 nodes,
+	// 2 hours).
+	Nodes           int
+	WalltimeSeconds float64
+	// MedianRunSeconds and Sigma shape the heavy-tailed per-feature fit
+	// time distribution.
+	MedianRunSeconds float64
+	Sigma            float64
+	// Allocations bounds the to-completion resubmission loop.
+	Allocations int
+	// Seed drives everything.
+	Seed int64
+}
+
+// DefaultIRFLoopConfig reproduces the paper's shape: a 1606-feature ACS
+// campaign on 2-hour, 20-node Summit allocations.
+func DefaultIRFLoopConfig() IRFLoopConfig {
+	return IRFLoopConfig{
+		Features:         1606,
+		Nodes:            20,
+		WalltimeSeconds:  7200,
+		MedianRunSeconds: 120,
+		Sigma:            1.45,
+		Allocations:      200,
+		Seed:             2019,
+	}
+}
+
+// BuildIRFCampaign composes the Cheetah campaign: one sweep over all
+// feature indices, exactly as the paper's "parameter sweep over all the
+// 1606 features".
+func BuildIRFCampaign(features, nodes int, walltimeMinutes int) (*cheetah.Manifest, error) {
+	values := make([]string, features)
+	for i := range values {
+		values[i] = strconv.Itoa(i)
+	}
+	c := cheetah.Campaign{
+		Name:    "irf-loop-acs2019",
+		App:     "irf-loop-fit",
+		Account: "SYB105",
+		Groups: []cheetah.SweepGroup{{
+			Name: "features", Nodes: nodes, WalltimeMinutes: walltimeMinutes,
+			Sweeps: []cheetah.Sweep{{
+				Name: "all-features",
+				Parameters: []cheetah.Parameter{{
+					Name: "feature", Layer: cheetah.Application, Values: values,
+				}},
+			}},
+		}},
+	}
+	return cheetah.BuildManifest(c)
+}
+
+// IRFLoopResult is the Figs. 6 and 7 data.
+type IRFLoopResult struct {
+	// Dynamic and SetSync are the to-completion outcomes per discipline.
+	Dynamic, SetSync *savanna.CampaignOutcome
+	// DynPerAlloc and SetPerAlloc are the Fig. 7 values: mean parameters
+	// explored per allocation.
+	DynPerAlloc, SetPerAlloc float64
+	// Speedup is the Fig. 7 improvement factor (paper: >5×).
+	Speedup float64
+}
+
+// RunIRFLoopScheduling reproduces Figs. 6 and 7: the same campaign, the
+// same per-run durations, executed to completion under the dynamic pilot
+// and the set-synchronized baseline.
+func RunIRFLoopScheduling(cfg IRFLoopConfig) (*IRFLoopResult, error) {
+	m, err := BuildIRFCampaign(cfg.Features, cfg.Nodes, int(cfg.WalltimeSeconds/60))
+	if err != nil {
+		return nil, err
+	}
+	eng := &savanna.SimEngine{
+		// Cap the tail at 90% of the walltime: a run longer than the
+		// allocation could never finish under either scheduler.
+		Durations: savanna.TruncatedLogNormalDurations(cfg.MedianRunSeconds, cfg.Sigma, 0.9*cfg.WalltimeSeconds),
+		Seed:      cfg.Seed,
+	}
+	dyn, err := eng.RunToCompletion(m.Runs, cfg.Nodes, cfg.WalltimeSeconds, savanna.Dynamic, cfg.Seed+1, cfg.Allocations)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dynamic: %w", err)
+	}
+	set, err := eng.RunToCompletion(m.Runs, cfg.Nodes, cfg.WalltimeSeconds, savanna.SetSynchronized, cfg.Seed+1, cfg.Allocations)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: set-synchronized: %w", err)
+	}
+	res := &IRFLoopResult{Dynamic: dyn, SetSync: set}
+	res.DynPerAlloc = meanInts(dyn.PerAllocationCompleted)
+	res.SetPerAlloc = meanInts(set.PerAllocationCompleted)
+	if res.SetPerAlloc > 0 {
+		res.Speedup = res.DynPerAlloc / res.SetPerAlloc
+	}
+	return res, nil
+}
+
+func meanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+// IRFUtilizationFigure renders Fig. 6: busy nodes over the first allocation
+// under both disciplines.
+func IRFUtilizationFigure(r *IRFLoopResult) *expt.Figure {
+	f := expt.NewFigure("Fig. 6", "Node utilisation over the first allocation: set-synchronized vs dynamic",
+		"time (hours)", "busy nodes")
+	dyn := f.AddSeries("cheetah/savanna dynamic")
+	for _, p := range r.Dynamic.FirstTimeline {
+		dyn.Add(p.Time/3600, p.BusyNodes)
+	}
+	set := f.AddSeries("original set-synchronized")
+	for _, p := range r.SetSync.FirstTimeline {
+		set.Add(p.Time/3600, p.BusyNodes)
+	}
+	return f
+}
+
+// IRFThroughputTable renders Fig. 7.
+func IRFThroughputTable(r *IRFLoopResult) *expt.Table {
+	t := expt.NewTable("Fig. 7 — parameters explored per 2-hour 20-node allocation",
+		"workflow", "mean parameters/allocation", "allocations to finish campaign", "mean node utilisation")
+	t.AddRow("original (set-synchronized)", fmt.Sprintf("%.1f", r.SetPerAlloc),
+		r.SetSync.Allocations, fmt.Sprintf("%.1f%%", r.SetSync.MeanUtilization*100))
+	t.AddRow("cheetah/savanna (dynamic)", fmt.Sprintf("%.1f", r.DynPerAlloc),
+		r.Dynamic.Allocations, fmt.Sprintf("%.1f%%", r.Dynamic.MeanUtilization*100))
+	t.AddRow("improvement", fmt.Sprintf("%.1f×", r.Speedup), "", "")
+	return t
+}
+
+// RunRealIRFLoop validates the scientific substance behind the campaign: a
+// real (scaled-down) iRF-LOOP over the synthetic census data, checking the
+// network recovers the generator's block structure.
+func RunRealIRFLoop(features, samples int, seed int64) (*iorf.Network, *census.Dataset, error) {
+	data, err := census.Generate(census.Config{
+		Features: features, Samples: samples, LatentFactors: 3, Noise: 0.3, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := iorf.RunLOOP(data.X, data.FeatureNames, iorf.LoopConfig{
+		IRF: iorf.IRFConfig{
+			Forest: iorf.ForestConfig{
+				Trees: 24,
+				Tree:  iorf.TreeConfig{MaxDepth: 6, MinLeaf: 3, MTry: 0},
+				Seed:  seed + 1,
+			},
+			Iterations:  2,
+			WeightFloor: 0.05,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, data, nil
+}
+
+// WithinBlockEdgeFraction computes, over the top-k edges of the network,
+// the fraction connecting features of the same generator block — the
+// quality check that the all-to-all network is signal, not noise.
+func WithinBlockEdgeFraction(net *iorf.Network, data *census.Dataset, k int) float64 {
+	blockOf := map[string]int{}
+	for i, name := range data.FeatureNames {
+		blockOf[name] = data.Block[i]
+	}
+	edges := net.TopEdges(k)
+	if len(edges) == 0 {
+		return 0
+	}
+	within := 0
+	for _, e := range edges {
+		if blockOf[e.From] == blockOf[e.To] {
+			within++
+		}
+	}
+	return float64(within) / float64(len(edges))
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fairflow/internal/expt"
+	"fairflow/internal/stream"
+)
+
+// StreamingConfig sizes the Section V-C experiment.
+type StreamingConfig struct {
+	// Items is how many records flow through the graph.
+	Items int
+	// SwapAt installs the steering policy after this many items.
+	SwapAt int
+}
+
+// DefaultStreamingConfig matches a short instrument burst.
+func DefaultStreamingConfig() StreamingConfig {
+	return StreamingConfig{Items: 50_000, SwapAt: 25_000}
+}
+
+// PolicyThroughput measures one policy's forwarding behaviour.
+type PolicyThroughput struct {
+	Policy string
+	// ItemsPerSecond is ingest throughput with the policy installed.
+	ItemsPerSecond float64
+	// Selectivity is forwarded/admitted.
+	Selectivity float64
+}
+
+// StreamingResult is the Fig. 5 data: per-policy throughput, plus the
+// runtime-swap demonstration (a policy installed mid-stream via control
+// punctuation, without touching the generated communication components).
+type StreamingResult struct {
+	Policies []PolicyThroughput
+	// SwapLatency is the wall time of the punctuation that installed the
+	// steering policy mid-stream.
+	SwapLatency time.Duration
+	// SelectedSeq is the item pulled out via direct selection after the
+	// swap (demonstrating the steered path works).
+	SelectedSeq int64
+	// PostSwapQueues is the number of simultaneously installed queues at
+	// the end — the "simultaneous installation of multiple data scheduling
+	// policies" property.
+	PostSwapQueues int
+}
+
+func instrumentSchema() *stream.Schema {
+	return &stream.Schema{
+		Name: "instrument",
+		Fields: []stream.Field{
+			{Name: "sensor", Type: stream.TInt64},
+			{Name: "value", Type: stream.TFloat64},
+		},
+	}
+}
+
+func makeItem(schema *stream.Schema, seq int64) stream.Item {
+	rec := stream.Record{Schema: schema, Values: []any{seq % 16, float64(seq) * 0.25}}
+	return stream.Item{Seq: seq, Time: time.Unix(seq/1000, seq%1000*1e6), Payload: rec}
+}
+
+// newPolicy constructs each measured policy fresh.
+func newPolicy(kind string) (stream.Policy, error) {
+	switch kind {
+	case "forward-all":
+		return stream.ForwardAll{}, nil
+	case "window-count":
+		return stream.NewSlidingWindowCount(64, 64)
+	case "sample":
+		return stream.NewSampleEveryN(10)
+	case "direct-selection":
+		return stream.NewDirectSelection(4096)
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", kind)
+	}
+}
+
+// RunStreaming executes the Section V-C experiment: measure each policy's
+// standalone throughput/selectivity, then demonstrate the runtime policy
+// swap on a live graph.
+func RunStreaming(cfg StreamingConfig) (*StreamingResult, error) {
+	if cfg.Items < 10 || cfg.SwapAt < 1 || cfg.SwapAt >= cfg.Items {
+		return nil, fmt.Errorf("experiments: bad streaming config %+v", cfg)
+	}
+	schema := instrumentSchema()
+	res := &StreamingResult{}
+
+	for _, kind := range []string{"forward-all", "window-count", "sample", "direct-selection"} {
+		pol, err := newPolicy(kind)
+		if err != nil {
+			return nil, err
+		}
+		sched := stream.NewScheduler()
+		var forwarded int64
+		sched.Subscribe(func(string, stream.Item) { forwarded++ })
+		if err := sched.Install("q", pol); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Items; i++ {
+			sched.Ingest(makeItem(schema, int64(i)))
+		}
+		elapsed := time.Since(start).Seconds()
+		res.Policies = append(res.Policies, PolicyThroughput{
+			Policy:         pol.Name(),
+			ItemsPerSecond: float64(cfg.Items) / elapsed,
+			Selectivity:    float64(forwarded) / float64(cfg.Items),
+		})
+	}
+
+	// Runtime swap: start with forward-all; mid-stream, a steering process
+	// installs a direct-selection queue and pulls one specific item.
+	sched := stream.NewScheduler()
+	var steered []int64
+	sched.Subscribe(func(q string, it stream.Item) {
+		if q == "steered" {
+			steered = append(steered, it.Seq)
+		}
+	})
+	if err := sched.Install("live", stream.ForwardAll{}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.SwapAt; i++ {
+		sched.Ingest(makeItem(schema, int64(i)))
+	}
+	sel, err := stream.NewDirectSelection(cfg.Items)
+	if err != nil {
+		return nil, err
+	}
+	swapStart := time.Now()
+	if err := sched.Punctuate(stream.Punctuation{Op: stream.OpInstall, Queue: "steered", Policy: sel}); err != nil {
+		return nil, err
+	}
+	res.SwapLatency = time.Since(swapStart)
+	for i := cfg.SwapAt; i < cfg.Items; i++ {
+		sched.Ingest(makeItem(schema, int64(i)))
+	}
+	want := int64(cfg.SwapAt + (cfg.Items-cfg.SwapAt)/2)
+	if err := sched.Punctuate(stream.Punctuation{Op: stream.OpSelect, Queue: "steered", Seqs: []int64{want}}); err != nil {
+		return nil, err
+	}
+	if len(steered) != 1 || steered[0] != want {
+		return nil, fmt.Errorf("experiments: steering selected %v, want [%d]", steered, want)
+	}
+	res.SelectedSeq = steered[0]
+	res.PostSwapQueues = len(sched.Queues())
+	return res, nil
+}
+
+// StreamingTable renders the Fig. 5 data.
+func StreamingTable(r *StreamingResult) *expt.Table {
+	t := expt.NewTable("Fig. 5 — data-scheduler policies on the generated communication subgraph",
+		"policy", "ingest throughput (items/s)", "selectivity")
+	for _, p := range r.Policies {
+		t.AddRow(p.Policy, fmt.Sprintf("%.0f", p.ItemsPerSecond), fmt.Sprintf("%.4f", p.Selectivity))
+	}
+	t.AddRow("runtime policy swap", fmt.Sprintf("installed in %s", r.SwapLatency),
+		fmt.Sprintf("steered item %d via punctuation; %d queues live", r.SelectedSeq, r.PostSwapQueues))
+	return t
+}

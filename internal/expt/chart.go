@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIChart renders a figure's series as a fixed-grid terminal chart:
+// series are plotted with distinct glyphs over a width×height character
+// canvas with simple axis annotations. It exists so cmd/experiments output
+// is visually comparable to the paper's figures without leaving the
+// terminal.
+func (f *Figure) ASCIIChart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			points++
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if points == 0 {
+		return fmt.Sprintf("%s — %s (no data)\n", f.ID, f.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	yLabelTop := fmt.Sprintf("%.4g", maxY)
+	yLabelBot := fmt.Sprintf("%.4g", minY)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

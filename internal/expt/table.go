@@ -1,0 +1,164 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-ordered result table used by the experiment
+// harness to collect the rows a paper figure reports and render them as
+// markdown or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Values are formatted with %v; float64 values are
+// rendered with 4 significant digits to keep tables readable.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, row)
+		b.WriteString("| " + strings.Join(padded, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (fields containing commas or
+// quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRec := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(f)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRec(t.Columns)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) series, the unit in which figure data is
+// collected (one series per line/bar group in a paper figure).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series plus axis labels — the exact data a plotted
+// paper figure contains, rendered textually.
+type Figure struct {
+	ID     string // e.g. "Fig. 3"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates a figure with the given identity and axis labels.
+func NewFigure(id, title, xlabel, ylabel string) *Figure {
+	return &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, registers and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Markdown renders the figure's data as a markdown table with one x column
+// and one column per series. X values are unioned across series; missing
+// points render blank.
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "x = %s, y = %s\n\n", f.XLabel, f.YLabel)
+
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable("", cols...)
+	for _, x := range xs {
+		row := make([]any, 0, len(cols))
+		row = append(row, x)
+		for _, s := range f.Series {
+			v := ""
+			for i, sx := range s.X {
+				if sx == x {
+					v = fmt.Sprintf("%.4g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.Markdown())
+	return b.String()
+}

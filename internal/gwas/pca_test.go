@@ -1,0 +1,141 @@
+package gwas
+
+import (
+	"math"
+	"testing"
+
+	"fairflow/internal/expt"
+)
+
+func stratConfig() Config {
+	return Config{SNPs: 600, Samples: 240, CausalSNPs: 4, EffectSize: 1.2, MinMAF: 0.1, Seed: 21}
+}
+
+func TestTopPCSeparatesPopulations(t *testing.T) {
+	c, pop, err := GenerateStratified(stratConfig(), 0.25, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := TopPC(c, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc) != c.Samples() {
+		t.Fatalf("pc length = %d", len(pc))
+	}
+	// Unit norm.
+	var ss float64
+	for _, v := range pc {
+		ss += v * v
+	}
+	if math.Abs(ss-1) > 1e-9 {
+		t.Fatalf("pc norm² = %v", ss)
+	}
+	// The PC must separate the two populations: the means of the two
+	// groups' scores should differ strongly relative to their spread.
+	var a, b []float64
+	for s, v := range pc {
+		if pop[s] == 0 {
+			a = append(a, v)
+		} else {
+			b = append(b, v)
+		}
+	}
+	sa, sb := expt.Summarize(a), expt.Summarize(b)
+	gap := math.Abs(sa.Mean - sb.Mean)
+	spread := (sa.Stddev + sb.Stddev) / 2
+	if gap < 2*spread {
+		t.Fatalf("PC does not separate populations: gap %.4f vs spread %.4f", gap, spread)
+	}
+}
+
+func TestTopPCValidation(t *testing.T) {
+	c, _ := Generate(Config{SNPs: 5, Samples: 3, CausalSNPs: 0, MinMAF: 0.2, Seed: 1})
+	if _, err := TopPC(c, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	tiny := &Cohort{Genotypes: [][]int8{{1}}, Phenotype: []float64{0}}
+	if _, err := TopPC(tiny, 5, 1); err == nil {
+		t.Fatal("single-sample PCA accepted")
+	}
+	// A monomorphic cohort has no variance for the PC to find.
+	flat := &Cohort{
+		Genotypes: [][]int8{{1, 1, 1, 1}},
+		Phenotype: make([]float64, 4),
+	}
+	if _, err := TopPC(flat, 5, 1); err == nil {
+		t.Fatal("variance-free cohort accepted")
+	}
+}
+
+func TestAdjustedScanDeflatesStratification(t *testing.T) {
+	cfg := stratConfig()
+	cfg.CausalSNPs = 0 // pure null + stratification: any signal is inflation
+	c, _, err := GenerateStratified(cfg, 0.3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaNaive := GenomicInflation(naive)
+	if lambdaNaive < 1.3 {
+		t.Fatalf("stratified null not inflated: λ = %.2f", lambdaNaive)
+	}
+
+	pc, err := TopPC(c, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted, err := ScanAdjusted(c, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaAdj := GenomicInflation(adjusted)
+	if lambdaAdj > lambdaNaive*0.7 {
+		t.Fatalf("adjustment did not deflate: λ %.2f → %.2f", lambdaNaive, lambdaAdj)
+	}
+	if lambdaAdj > 1.35 {
+		t.Fatalf("adjusted scan still inflated: λ = %.2f", lambdaAdj)
+	}
+}
+
+func TestAdjustedScanKeepsRealSignal(t *testing.T) {
+	c, _, err := GenerateStratified(stratConfig(), 0.25, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := TopPC(c, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted, err := ScanAdjusted(c, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(c, adjusted, 12); r < 0.5 {
+		t.Fatalf("adjusted scan lost the causal SNPs: recall %.2f", r)
+	}
+}
+
+func TestScanAdjustedValidation(t *testing.T) {
+	c, _ := Generate(Config{SNPs: 10, Samples: 20, CausalSNPs: 0, MinMAF: 0.2, Seed: 4})
+	if _, err := ScanAdjusted(c, make([]float64, 3)); err == nil {
+		t.Fatal("covariate length mismatch accepted")
+	}
+}
+
+func TestGenomicInflationNullIsCalm(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CausalSNPs = 0
+	c, _ := Generate(cfg)
+	assocs, _ := Scan(c)
+	lambda := GenomicInflation(assocs)
+	if lambda < 0.7 || lambda > 1.3 {
+		t.Fatalf("unstratified null λ = %.2f, want ≈ 1", lambda)
+	}
+	if !math.IsNaN(GenomicInflation(nil)) {
+		t.Fatal("empty scan should give NaN")
+	}
+}

@@ -1,0 +1,90 @@
+package hpcsim
+
+import "testing"
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New(1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkFilesystemContention(b *testing.B) {
+	// Each iteration runs 32 concurrent striped writes through the
+	// processor-sharing model to completion.
+	for i := 0; i < b.N; i++ {
+		s := New(int64(i))
+		fs := NewFilesystem(s, DefaultSummitFS(), int64(i)+1)
+		for w := 0; w < 32; w++ {
+			fs.Write(4, 1e10, func(float64) {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkPilotAllocationCycle(b *testing.B) {
+	// One batch job per iteration: submit, run 64 tasks over 8 nodes
+	// dynamically, release.
+	for i := 0; i < b.N; i++ {
+		s := New(int64(i))
+		c := NewCluster(s, ClusterConfig{Nodes: 8, FS: quietFS(1e12, 1e10)}, int64(i)+1)
+		c.Submit(JobSpec{
+			Name: "pilot", Nodes: 8, Walltime: 1e6,
+			OnStart: func(a *Allocation) {
+				remaining := 64
+				var assign func()
+				assign = func() {
+					for _, nid := range a.IdleNodes() {
+						if remaining == 0 {
+							break
+						}
+						remaining--
+						a.RunTask("t", nid, 10, func(bool) { assign() })
+					}
+					if remaining == 0 && len(a.IdleNodes()) == 8 {
+						a.Release()
+					}
+				}
+				assign()
+			},
+		})
+		s.Run()
+	}
+}
+
+// BenchmarkLeadershipScale drives a Summit-sized machine (4608 nodes)
+// through a 50k-task pilot campaign — the simulator's scalability envelope.
+func BenchmarkLeadershipScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(int64(i))
+		c := NewCluster(s, ClusterConfig{Nodes: 4608, FS: quietFS(2.5e12, 12.5e9)}, int64(i)+1)
+		remaining := 50_000
+		c.Submit(JobSpec{
+			Name: "pilot", Nodes: 4608, Walltime: 1e9,
+			OnStart: func(a *Allocation) {
+				var assign func()
+				assign = func() {
+					for _, nid := range a.IdleNodes() {
+						if remaining == 0 {
+							break
+						}
+						remaining--
+						a.RunTask("t", nid, 100, func(bool) { assign() })
+					}
+					if remaining == 0 && len(a.IdleNodes()) == len(a.Nodes()) {
+						a.Release()
+					}
+				}
+				assign()
+			},
+		})
+		s.Run()
+		if remaining != 0 {
+			b.Fatal("campaign incomplete")
+		}
+	}
+	b.ReportMetric(50_000, "tasks")
+}

@@ -1,0 +1,98 @@
+package hpcsim
+
+import (
+	"math/rand"
+)
+
+// FailureConfig parameterises node-failure injection.
+type FailureConfig struct {
+	// MTTF is the per-node mean time to failure in seconds (exponential).
+	MTTF float64
+	// RepairTime is how long a failed node stays down before rejoining the
+	// free pool.
+	RepairTime float64
+	// Horizon bounds injection: no failures are scheduled past this
+	// simulated time, which keeps the event queue drainable.
+	Horizon float64
+}
+
+// FailureInjector schedules exponential node failures on a cluster. A
+// failing node kills any task running on it (the task's done callback fires
+// with ok=false) and leaves its allocation degraded; after repair the node
+// returns to the cluster's free pool.
+//
+// The checkpoint-restart experiment (paper Section V-B) uses this to create
+// the failures that checkpoints guard against; the MTTF knob is exactly the
+// "underlying characteristics of the system" the paper says the naive
+// fixed-interval policy hard-codes.
+type FailureInjector struct {
+	cluster *Cluster
+	cfg     FailureConfig
+	rng     *rand.Rand
+	// Failures counts injected node failures.
+	Failures int
+	// KilledTasks counts tasks killed by failures.
+	KilledTasks int
+}
+
+// NewFailureInjector arms failure injection on every node of the cluster.
+func NewFailureInjector(c *Cluster, cfg FailureConfig, seed int64) *FailureInjector {
+	fi := &FailureInjector{cluster: c, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.MTTF <= 0 {
+		return fi // disabled
+	}
+	for _, nd := range c.nodes {
+		fi.scheduleFailure(nd)
+	}
+	return fi
+}
+
+func (fi *FailureInjector) scheduleFailure(nd *node) {
+	wait := fi.rng.ExpFloat64() * fi.cfg.MTTF
+	at := fi.cluster.sim.Now() + wait
+	if fi.cfg.Horizon > 0 && at > fi.cfg.Horizon {
+		return
+	}
+	fi.cluster.sim.At(at, func() { fi.fail(nd) })
+}
+
+func (fi *FailureInjector) fail(nd *node) {
+	if nd.failed {
+		return
+	}
+	nd.failed = true
+	fi.Failures++
+	// Kill the task running on this node, if any.
+	if a := nd.alloc; a != nil {
+		for t := range a.tasks {
+			if t.node == nd {
+				fi.KilledTasks++
+				t.complete(false)
+				break
+			}
+		}
+		// The node permanently leaves its allocation (the allocation
+		// continues degraded); after repair it returns to the free pool and
+		// may be granted to a different job.
+		for i, an := range a.nodes {
+			if an == nd {
+				a.nodes = append(a.nodes[:i], a.nodes[i+1:]...)
+				break
+			}
+		}
+		nd.alloc = nil
+	}
+	repair := fi.cfg.RepairTime
+	if repair <= 0 {
+		repair = 1
+	}
+	fi.cluster.sim.After(repair, func() { fi.repair(nd) })
+}
+
+func (fi *FailureInjector) repair(nd *node) {
+	nd.failed = false
+	// Node rejoins the free pool; wake the scheduler and arm the next
+	// failure.
+	fi.cluster.sim.After(0, fi.cluster.trySchedule)
+	fi.scheduleFailure(nd)
+}

@@ -1,0 +1,130 @@
+package hpcsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimFiresInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSimSimultaneousEventsAreFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestSimAfterAndNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []float64
+	s.After(10, func() {
+		fired = append(fired, s.Now())
+		s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired: %v", fired)
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.At(1, func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() false after cancel")
+	}
+	var nilEvt *Event
+	nilEvt.Cancel() // must not panic
+}
+
+func TestSimPastSchedulingPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestSimNegativeAfterClampsToNow(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		s.After(-5, func() {})
+	})
+	s.Run() // must not panic
+	if s.Processed() != 2 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New(1)
+	var fired []float64
+	s.At(1, func() { fired = append(fired, 1) })
+	s.At(10, func() { fired = append(fired, 10) })
+	s.RunUntil(5)
+	if len(fired) != 1 || s.Now() != 5 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 || s.Now() != 10 {
+		t.Fatalf("after Run: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestSimClockMonotone(t *testing.T) {
+	// Property: for random event times, the observed firing clock never
+	// decreases.
+	f := func(raw []uint16) bool {
+		s := New(2)
+		prev := -1.0
+		ok := true
+		for _, r := range raw {
+			at := float64(r % 1000)
+			s.At(at, func() {
+				if s.Now() < prev {
+					ok = false
+				}
+				prev = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package iorf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Interaction is a set of features that co-occur on decision paths more
+// often than chance — the "predictive and stable high-order interactions"
+// that iterative random forests exist to surface (Basu et al. 2018).
+type Interaction struct {
+	// Features are the member feature indices, ascending.
+	Features []int
+	// Stability is the fraction of bootstrap RIT repetitions in which the
+	// interaction (or a superset) survived.
+	Stability float64
+}
+
+// Key renders the interaction canonically ("3+17+42").
+func (i Interaction) Key() string {
+	parts := make([]string, len(i.Features))
+	for k, f := range i.Features {
+		parts[k] = fmt.Sprintf("%d", f)
+	}
+	return strings.Join(parts, "+")
+}
+
+// RITConfig parameterises random intersection trees over a trained forest.
+type RITConfig struct {
+	// Repetitions is the number of bootstrap RIT runs (stability
+	// denominator).
+	Repetitions int
+	// Depth is the RIT depth: each intersection chain intersects this many
+	// random decision paths.
+	Depth int
+	// Branches is the RIT branching factor per level.
+	Branches int
+	// MinOrder discards interactions with fewer features (1 = keep
+	// singletons).
+	MinOrder int
+	// Seed drives path sampling.
+	Seed int64
+}
+
+// DefaultRITConfig returns the standard setting.
+func DefaultRITConfig(seed int64) RITConfig {
+	return RITConfig{Repetitions: 30, Depth: 3, Branches: 2, MinOrder: 2, Seed: seed}
+}
+
+// decisionPaths extracts the feature set of every root-to-leaf path in the
+// forest (each path contributes the set of features it splits on).
+func decisionPaths(f *Forest) [][]int {
+	var paths [][]int
+	for _, tree := range f.Trees {
+		if len(tree.nodes) == 0 {
+			continue
+		}
+		var walk func(idx int, current map[int]bool)
+		walk = func(idx int, current map[int]bool) {
+			n := tree.nodes[idx]
+			if n.feature < 0 {
+				if len(current) > 0 {
+					path := make([]int, 0, len(current))
+					for f := range current {
+						path = append(path, f)
+					}
+					sort.Ints(path)
+					paths = append(paths, path)
+				}
+				return
+			}
+			added := !current[n.feature]
+			current[n.feature] = true
+			walk(n.left, current)
+			walk(n.right, current)
+			if added {
+				delete(current, n.feature)
+			}
+		}
+		walk(0, map[int]bool{})
+	}
+	return paths
+}
+
+// StableInteractions runs random intersection trees over the forest's
+// decision paths: repeatedly intersect randomly drawn paths; feature sets
+// that survive intersection are candidate interactions, and their stability
+// is the fraction of repetitions in which they appear. Results are sorted
+// by stability (descending), then order (descending), then key.
+func StableInteractions(f *Forest, cfg RITConfig) ([]Interaction, error) {
+	if cfg.Repetitions < 1 || cfg.Depth < 1 || cfg.Branches < 1 {
+		return nil, fmt.Errorf("iorf: RIT needs ≥1 repetition, depth and branch")
+	}
+	if cfg.MinOrder < 1 {
+		cfg.MinOrder = 1
+	}
+	paths := decisionPaths(f)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("iorf: forest has no split paths")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	counts := map[string]int{}
+	members := map[string][]int{}
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		seen := map[string]bool{}
+		// One RIT: start from a random path, intersect with Branches random
+		// paths per level for Depth levels; record every nonempty survivor.
+		var descend func(set []int, depth int)
+		descend = func(set []int, depth int) {
+			if len(set) == 0 {
+				return
+			}
+			if len(set) >= cfg.MinOrder {
+				key := Interaction{Features: set}.Key()
+				if !seen[key] {
+					seen[key] = true
+					counts[key]++
+					members[key] = set
+				}
+			}
+			if depth == cfg.Depth {
+				return
+			}
+			for b := 0; b < cfg.Branches; b++ {
+				other := paths[rng.Intn(len(paths))]
+				descend(intersect(set, other), depth+1)
+			}
+		}
+		descend(paths[rng.Intn(len(paths))], 0)
+	}
+
+	out := make([]Interaction, 0, len(counts))
+	for key, n := range counts {
+		out = append(out, Interaction{
+			Features:  members[key],
+			Stability: float64(n) / float64(cfg.Repetitions),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stability != out[j].Stability {
+			return out[i].Stability > out[j].Stability
+		}
+		if len(out[i].Features) != len(out[j].Features) {
+			return len(out[i].Features) > len(out[j].Features)
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out, nil
+}
+
+// intersect returns the sorted intersection of a sorted slice and a sorted
+// slice.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

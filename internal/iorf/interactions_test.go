@@ -1,0 +1,123 @@
+package iorf
+
+import (
+	"testing"
+
+	"fairflow/internal/expt"
+)
+
+// interactionData builds y = x0·x1 (pure interaction, no marginal effect in
+// isolation strong enough to matter) plus distractors: the signature
+// workload RIT exists to crack.
+func interactionData(n, features int, seed int64) ([][]float64, []float64) {
+	rng := expt.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, features)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = row[0] * row[1]
+	}
+	return X, y
+}
+
+func TestIntersect(t *testing.T) {
+	got := intersect([]int{1, 3, 5, 7}, []int{3, 4, 5, 9})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("intersect: %v", got)
+	}
+	if intersect([]int{1}, []int{2}) != nil {
+		t.Fatal("disjoint intersect not empty")
+	}
+}
+
+func TestDecisionPathsCoverForest(t *testing.T) {
+	X, y := interactionData(200, 5, 1)
+	f, err := TrainForest(X, y, nil, ForestConfig{
+		Trees: 10, Tree: TreeConfig{MaxDepth: 4, MinLeaf: 5, MTry: 3}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := decisionPaths(f)
+	if len(paths) == 0 {
+		t.Fatal("no decision paths")
+	}
+	for _, p := range paths {
+		for k := 1; k < len(p); k++ {
+			if p[k] <= p[k-1] {
+				t.Fatalf("path not sorted/unique: %v", p)
+			}
+		}
+		for _, feat := range p {
+			if feat < 0 || feat >= 5 {
+				t.Fatalf("feature out of range: %v", p)
+			}
+		}
+	}
+}
+
+func TestStableInteractionsFindPlantedPair(t *testing.T) {
+	X, y := interactionData(400, 8, 3)
+	cfg := IRFConfig{
+		Forest:      ForestConfig{Trees: 40, Tree: TreeConfig{MaxDepth: 6, MinLeaf: 5, MTry: 3}, Seed: 4},
+		Iterations:  3,
+		WeightFloor: 0.05,
+	}
+	m, err := TrainIRF(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interactions, err := StableInteractions(m.Final, DefaultRITConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interactions) == 0 {
+		t.Fatal("no interactions recovered")
+	}
+	// The planted pair {0,1} must be the most stable order-2+ interaction.
+	best := interactions[0]
+	if best.Key() != "0+1" {
+		t.Fatalf("top interaction = %s (stability %.2f), want 0+1", best.Key(), best.Stability)
+	}
+	if best.Stability < 0.5 {
+		t.Fatalf("planted interaction unstable: %.2f", best.Stability)
+	}
+}
+
+func TestStableInteractionsValidation(t *testing.T) {
+	X, y := interactionData(100, 4, 6)
+	f, _ := TrainForest(X, y, nil, ForestConfig{
+		Trees: 5, Tree: TreeConfig{MaxDepth: 3, MinLeaf: 5, MTry: 2}, Seed: 7})
+	if _, err := StableInteractions(f, RITConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	// A stump forest (no splits) has no paths.
+	constY := make([]float64, 100)
+	stump, _ := TrainForest(X, constY, nil, ForestConfig{
+		Trees: 3, Tree: TreeConfig{MaxDepth: 1, MinLeaf: 1, MTry: 2}, Seed: 8})
+	if _, err := StableInteractions(stump, DefaultRITConfig(9)); err == nil {
+		t.Fatal("pathless forest accepted")
+	}
+}
+
+func TestStableInteractionsDeterministic(t *testing.T) {
+	X, y := interactionData(200, 6, 10)
+	f, _ := TrainForest(X, y, nil, ForestConfig{
+		Trees: 15, Tree: TreeConfig{MaxDepth: 5, MinLeaf: 5, MTry: 3}, Seed: 11})
+	a, err := StableInteractions(f, DefaultRITConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := StableInteractions(f, DefaultRITConfig(12))
+	if len(a) != len(b) {
+		t.Fatal("RIT not deterministic")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() || a[i].Stability != b[i].Stability {
+			t.Fatal("RIT results differ across runs")
+		}
+	}
+}

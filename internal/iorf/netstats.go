@@ -1,0 +1,130 @@
+package iorf
+
+import "sort"
+
+// NetworkStats summarises an iRF-LOOP network's structure — the
+// post-processing a predictive-expression-network analysis applies before
+// interpretation.
+type NetworkStats struct {
+	// Nodes is the feature count.
+	Nodes int
+	// Edges counts non-zero directed edges.
+	Edges int
+	// Density is Edges / (Nodes × (Nodes − 1)).
+	Density float64
+	// Reciprocity is the fraction of edges (i→j) whose reverse (j→i) is
+	// also present — high for the symmetric latent-factor structure of the
+	// census generator.
+	Reciprocity float64
+	// MeanOutStrength is the average row sum (≈1 for normalised rows with
+	// any signal).
+	MeanOutStrength float64
+}
+
+// Stats computes structural statistics over the network at the given edge
+// weight threshold (edges below min are ignored).
+func (n *Network) Stats(min float64) NetworkStats {
+	s := NetworkStats{Nodes: len(n.Adjacency)}
+	if s.Nodes == 0 {
+		return s
+	}
+	var reciprocal int
+	var strength float64
+	for i, row := range n.Adjacency {
+		for j, w := range row {
+			strength += w
+			if i == j || w < min || w == 0 {
+				continue
+			}
+			s.Edges++
+			if rev := n.Adjacency[j][i]; rev >= min && rev > 0 {
+				reciprocal++
+			}
+		}
+	}
+	if s.Edges > 0 {
+		s.Reciprocity = float64(reciprocal) / float64(s.Edges)
+	}
+	if s.Nodes > 1 {
+		s.Density = float64(s.Edges) / float64(s.Nodes*(s.Nodes-1))
+	}
+	s.MeanOutStrength = strength / float64(s.Nodes)
+	return s
+}
+
+// Hubs returns the k features with the highest out-strength: column j of
+// the adjacency sums feature j's importance in predicting every other
+// feature, so high columns are the network's most influential predictors —
+// the hub regulators in the expression-network reading.
+func (n *Network) Hubs(k int) []Edge {
+	type hub struct {
+		idx      int
+		strength float64
+	}
+	hubs := make([]hub, len(n.Adjacency))
+	for j := range n.Adjacency {
+		hubs[j].idx = j
+	}
+	for _, row := range n.Adjacency {
+		for j, w := range row {
+			hubs[j].strength += w
+		}
+	}
+	sort.Slice(hubs, func(a, b int) bool {
+		if hubs[a].strength != hubs[b].strength {
+			return hubs[a].strength > hubs[b].strength
+		}
+		return hubs[a].idx < hubs[b].idx
+	})
+	if k > len(hubs) {
+		k = len(hubs)
+	}
+	out := make([]Edge, k)
+	for i := 0; i < k; i++ {
+		out[i] = Edge{From: n.FeatureNames[hubs[i].idx], Weight: hubs[i].strength}
+	}
+	return out
+}
+
+// ConnectedComponents returns the sizes of weakly connected components at
+// the given threshold, descending — a quick view of whether the network is
+// one fabric or disjoint clusters (the census generator's blocks should
+// appear as distinct components at high thresholds).
+func (n *Network) ConnectedComponents(min float64) []int {
+	size := len(n.Adjacency)
+	parent := make([]int, size)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i, row := range n.Adjacency {
+		for j, w := range row {
+			if i != j && w >= min && w > 0 {
+				union(i, j)
+			}
+		}
+	}
+	counts := map[int]int{}
+	for i := range parent {
+		counts[find(i)]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

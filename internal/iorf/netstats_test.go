@@ -1,0 +1,113 @@
+package iorf
+
+import (
+	"math"
+	"testing"
+)
+
+// twoClusterNetwork builds a hand-crafted network with two disjoint
+// reciprocal pairs and one weak cross edge.
+func twoClusterNetwork() *Network {
+	return &Network{
+		FeatureNames: []string{"a", "b", "c", "d"},
+		Adjacency: [][]float64{
+			{0, 0.9, 0.05, 0},
+			{0.8, 0, 0, 0},
+			{0, 0, 0, 0.7},
+			{0, 0, 0.6, 0},
+		},
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	n := twoClusterNetwork()
+	s := n.Stats(0.1)
+	if s.Nodes != 4 {
+		t.Fatalf("nodes = %d", s.Nodes)
+	}
+	if s.Edges != 4 { // the 0.05 edge is below threshold
+		t.Fatalf("edges = %d", s.Edges)
+	}
+	if s.Reciprocity != 1 {
+		t.Fatalf("reciprocity = %v", s.Reciprocity)
+	}
+	if math.Abs(s.Density-4.0/12.0) > 1e-12 {
+		t.Fatalf("density = %v", s.Density)
+	}
+	// At zero threshold the weak edge appears and breaks full reciprocity.
+	s0 := n.Stats(0)
+	if s0.Edges != 5 || s0.Reciprocity != 4.0/5.0 {
+		t.Fatalf("threshold-0 stats: %+v", s0)
+	}
+}
+
+func TestNetworkStatsEmpty(t *testing.T) {
+	n := &Network{}
+	if s := n.Stats(0); s.Nodes != 0 || s.Edges != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestHubsRankByOutStrength(t *testing.T) {
+	n := twoClusterNetwork()
+	hubs := n.Hubs(2)
+	if len(hubs) != 2 {
+		t.Fatalf("hubs = %d", len(hubs))
+	}
+	// Column sums: a=0.8, b=0.9, c=0.65, d=0.7 → b then a.
+	if hubs[0].From != "b" || hubs[1].From != "a" {
+		t.Fatalf("hub order: %v, %v", hubs[0].From, hubs[1].From)
+	}
+	if math.Abs(hubs[0].Weight-0.9) > 1e-12 {
+		t.Fatalf("hub strength: %v", hubs[0].Weight)
+	}
+	if got := n.Hubs(99); len(got) != 4 {
+		t.Fatalf("oversized k: %d", len(got))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	n := twoClusterNetwork()
+	// Above the weak edge: two components of 2.
+	comps := n.ConnectedComponents(0.1)
+	if len(comps) != 2 || comps[0] != 2 || comps[1] != 2 {
+		t.Fatalf("components: %v", comps)
+	}
+	// Including the weak edge: one component of 4.
+	comps = n.ConnectedComponents(0.01)
+	if len(comps) != 1 || comps[0] != 4 {
+		t.Fatalf("components: %v", comps)
+	}
+	// Threshold above everything: four singletons.
+	comps = n.ConnectedComponents(10)
+	if len(comps) != 4 {
+		t.Fatalf("components: %v", comps)
+	}
+}
+
+func TestBlocksAppearAsComponents(t *testing.T) {
+	// Integration: a real LOOP over chain data should link the chain
+	// features into one component and leave distractors loosely attached.
+	X, names := chainData(200, 2, 31)
+	net, err := RunLOOP(X, names, loopConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := n0(net.ConnectedComponents(0.3))
+	// The chain trio (f0,f1,f2) must be in the same component at a strong
+	// threshold.
+	if comps < 1 {
+		t.Fatalf("components: %d", comps)
+	}
+	s := net.Stats(0)
+	if s.MeanOutStrength <= 0 {
+		t.Fatal("no signal in network")
+	}
+}
+
+func n0(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}

@@ -1,0 +1,131 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExportPolicy is the exportability tier of the provenance gauge: "not all
+// provenance that is useful to the original author is appropriate to include
+// in a distributable, reusable research object", but some is crucial when
+// reusing components in a new context. A policy decides, per record and per
+// field, what ships.
+type ExportPolicy struct {
+	// MaxSensitivity is the highest annotation sensitivity to retain.
+	// Public keeps only public annotations; Internal keeps public+internal.
+	// Secret data is never exported regardless of this setting.
+	MaxSensitivity Sensitivity
+	// IncludeEnvironment retains the environment map (scrubbed of entries
+	// whose keys match ScrubKeys).
+	IncludeEnvironment bool
+	// ScrubKeys lists environment/annotation key substrings that are always
+	// removed (e.g. "account", "token", "home").
+	ScrubKeys []string
+	// IncludeFailures retains failed/killed records; excluding them yields a
+	// success-only object (common for published artifacts), including them
+	// preserves the full execution history for debugging reuse.
+	IncludeFailures bool
+}
+
+// DefaultExportPolicy is a conservative policy suitable for public research
+// objects: public annotations only, no environment, successes only.
+func DefaultExportPolicy() ExportPolicy {
+	return ExportPolicy{
+		MaxSensitivity:  Public,
+		ScrubKeys:       []string{"account", "token", "secret", "password", "home"},
+		IncludeFailures: false,
+	}
+}
+
+// rank orders sensitivities for comparison.
+func rank(s Sensitivity) int {
+	switch s {
+	case Public:
+		return 0
+	case Internal:
+		return 1
+	case Secret:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (p ExportPolicy) scrubbed(key string) bool {
+	lower := strings.ToLower(key)
+	for _, frag := range p.ScrubKeys {
+		if strings.Contains(lower, strings.ToLower(frag)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply filters one record under the policy. ok is false when the record is
+// excluded entirely (e.g. a failure under a successes-only policy).
+func (p ExportPolicy) Apply(r Record) (Record, bool) {
+	if !p.IncludeFailures && (r.Status == StatusFailed || r.Status == StatusKilled) {
+		return Record{}, false
+	}
+	out := r
+	out.Annotations = nil
+	for _, a := range r.Annotations {
+		if a.Sensitivity == Secret {
+			continue
+		}
+		if rank(a.Sensitivity) > rank(p.MaxSensitivity) {
+			continue
+		}
+		if p.scrubbed(a.Key) {
+			continue
+		}
+		out.Annotations = append(out.Annotations, a)
+	}
+	if p.IncludeEnvironment {
+		out.Environment = map[string]string{}
+		for k, v := range r.Environment {
+			if !p.scrubbed(k) {
+				out.Environment[k] = v
+			}
+		}
+	} else {
+		out.Environment = nil
+	}
+	return out, true
+}
+
+// Export filters a whole campaign's records into a shareable research
+// object: the filtered records plus a manifest of what was withheld, so the
+// receiving side knows the object's completeness.
+type ResearchObject struct {
+	CampaignID string   `json:"campaign_id"`
+	Records    []Record `json:"records"`
+	// Withheld counts records excluded entirely, and fields/annotations
+	// stripped, keyed by reason.
+	Withheld map[string]int `json:"withheld"`
+}
+
+// Export builds a ResearchObject for campaignID from the store under the
+// policy.
+func Export(s *Store, campaignID string, p ExportPolicy) (ResearchObject, error) {
+	recs := s.Select(Query{CampaignID: campaignID})
+	if len(recs) == 0 {
+		return ResearchObject{}, fmt.Errorf("provenance: campaign %q has no records", campaignID)
+	}
+	ro := ResearchObject{CampaignID: campaignID, Withheld: map[string]int{}}
+	for _, r := range recs {
+		filtered, ok := p.Apply(r)
+		if !ok {
+			ro.Withheld["record:"+string(r.Status)]++
+			continue
+		}
+		ro.Withheld["annotations"] += len(r.Annotations) - len(filtered.Annotations)
+		if len(r.Environment) > 0 && len(filtered.Environment) == 0 {
+			ro.Withheld["environment"]++
+		}
+		ro.Records = append(ro.Records, filtered)
+	}
+	sort.Slice(ro.Records, func(i, j int) bool { return ro.Records[i].ID < ro.Records[j].ID })
+	return ro, nil
+}

@@ -1,0 +1,69 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func seedDurations(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	durations := []time.Duration{
+		10 * time.Second, 12 * time.Second, 11 * time.Second,
+		9 * time.Second, 13 * time.Second,
+		120 * time.Second, // the straggler
+	}
+	for i, d := range durations {
+		if err := s.Append(rec(fmt.Sprintf("r%d", i), "irf", "camp", StatusSucceeded,
+			t0.Add(time.Duration(i)*time.Minute), d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A running record must be excluded from duration stats.
+	if err := s.Append(rec("running", "irf", "camp", StatusRunning, t0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDurations(t *testing.T) {
+	s := seedDurations(t)
+	stats := s.Durations(Query{CampaignID: "camp"})
+	if stats.Count != 6 {
+		t.Fatalf("count = %d (running record leaked?)", stats.Count)
+	}
+	if stats.Min != 9*time.Second || stats.Max != 120*time.Second {
+		t.Fatalf("min/max: %v/%v", stats.Min, stats.Max)
+	}
+	if stats.Median < 11*time.Second || stats.Median > 12*time.Second {
+		t.Fatalf("median: %v", stats.Median)
+	}
+	if stats.Mean <= stats.Median {
+		t.Fatal("heavy tail should pull mean above median")
+	}
+	if stats.P95 < stats.Median || stats.P95 > stats.Max {
+		t.Fatalf("p95: %v", stats.P95)
+	}
+}
+
+func TestDurationsEmpty(t *testing.T) {
+	s := NewStore()
+	if got := s.Durations(Query{}); got.Count != 0 || got.Mean != 0 {
+		t.Fatalf("empty stats: %+v", got)
+	}
+}
+
+func TestStragglerReport(t *testing.T) {
+	s := seedDurations(t)
+	stragglers := s.StragglerReport(Query{CampaignID: "camp"}, 3)
+	if len(stragglers) != 1 || stragglers[0].Duration() != 120*time.Second {
+		t.Fatalf("stragglers: %+v", stragglers)
+	}
+	if got := s.StragglerReport(Query{CampaignID: "camp"}, 0); got != nil {
+		t.Fatal("zero factor should return nil")
+	}
+	if got := s.StragglerReport(Query{CampaignID: "ghost"}, 3); got != nil {
+		t.Fatal("empty selection should return nil")
+	}
+}

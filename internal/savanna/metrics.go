@@ -1,0 +1,38 @@
+package savanna
+
+import (
+	"fmt"
+	"sync"
+
+	"fairflow/internal/catalog"
+	"fairflow/internal/cheetah"
+)
+
+// MetricApp is an application that, besides succeeding or failing, reports
+// output metrics — the raw material of a codesign catalog.
+type MetricApp func(params map[string]string) (map[string]float64, error)
+
+// CatalogExecutor runs a MetricApp for each campaign run and records the
+// metrics into a catalog, turning a Savanna execution into the Section II-C
+// "catalog that describes the impact of different parameters on different
+// output metrics".
+type CatalogExecutor struct {
+	App     MetricApp
+	Catalog *catalog.Catalog
+
+	mu sync.Mutex
+}
+
+// Execute implements Executor.
+func (e *CatalogExecutor) Execute(run cheetah.Run) error {
+	if e.App == nil || e.Catalog == nil {
+		return fmt.Errorf("savanna: catalog executor needs an app and a catalog")
+	}
+	metrics, err := e.App(run.Params)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Catalog.Add(catalog.Entry{RunID: run.ID, Params: run.Params, Metrics: metrics})
+}

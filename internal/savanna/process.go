@@ -1,0 +1,107 @@
+package savanna
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fairflow/internal/cheetah"
+)
+
+// ProcessExecutor runs each campaign run as an operating-system process —
+// the backend that "translates a high-level campaign description into
+// actual system and scheduler calls". The command line is a template with
+// {param} placeholders substituted from the run's sweep point; each run
+// executes in its own working directory under the campaign directory (the
+// Cheetah directory schema), with stdout/stderr captured to files.
+type ProcessExecutor struct {
+	// Command is the argv template; each element may contain {param}
+	// placeholders, plus the builtins {run_id}, {group}, {sweep}.
+	Command []string
+	// WorkRoot, when non-empty, hosts per-run working directories
+	// (WorkRoot/<run id>). Empty runs in the current directory.
+	WorkRoot string
+	// Timeout bounds each process (0 = no limit) — the per-run walltime.
+	Timeout time.Duration
+	// Env appends environment variables ("K=V") to the inherited set;
+	// sweep parameters are also exported as SWEEP_<NAME>.
+	Env []string
+}
+
+// Substitute expands {param} placeholders in one template string.
+func Substitute(tmpl string, run cheetah.Run) (string, error) {
+	out := tmpl
+	out = strings.ReplaceAll(out, "{run_id}", run.ID)
+	out = strings.ReplaceAll(out, "{group}", run.Group)
+	out = strings.ReplaceAll(out, "{sweep}", run.Sweep)
+	for k, v := range run.Params {
+		out = strings.ReplaceAll(out, "{"+k+"}", v)
+	}
+	if i := strings.IndexByte(out, '{'); i >= 0 {
+		if j := strings.IndexByte(out[i:], '}'); j >= 0 {
+			return "", fmt.Errorf("savanna: unresolved placeholder %q in %q", out[i:i+j+1], tmpl)
+		}
+	}
+	return out, nil
+}
+
+// Execute implements Executor.
+func (p *ProcessExecutor) Execute(run cheetah.Run) error {
+	if len(p.Command) == 0 {
+		return fmt.Errorf("savanna: process executor needs a command")
+	}
+	argv := make([]string, len(p.Command))
+	for i, tmpl := range p.Command {
+		expanded, err := Substitute(tmpl, run)
+		if err != nil {
+			return err
+		}
+		argv[i] = expanded
+	}
+
+	ctx := context.Background()
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+
+	if p.WorkRoot != "" {
+		dir := filepath.Join(p.WorkRoot, filepath.FromSlash(run.ID))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		cmd.Dir = dir
+		stdout, err := os.Create(filepath.Join(dir, "stdout.log"))
+		if err != nil {
+			return err
+		}
+		defer stdout.Close()
+		stderr, err := os.Create(filepath.Join(dir, "stderr.log"))
+		if err != nil {
+			return err
+		}
+		defer stderr.Close()
+		cmd.Stdout, cmd.Stderr = stdout, stderr
+	}
+
+	env := append(os.Environ(), p.Env...)
+	for k, v := range run.Params {
+		env = append(env, "SWEEP_"+strings.ToUpper(k)+"="+v)
+	}
+	env = append(env, "RUN_ID="+run.ID)
+	cmd.Env = env
+
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return fmt.Errorf("savanna: run %s exceeded %s walltime", run.ID, p.Timeout)
+		}
+		return fmt.Errorf("savanna: run %s: %w", run.ID, err)
+	}
+	return nil
+}

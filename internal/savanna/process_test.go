@@ -1,0 +1,128 @@
+package savanna
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/provenance"
+)
+
+func TestSubstitute(t *testing.T) {
+	run := cheetah.Run{
+		ID: "g/s/run-00001", Group: "g", Sweep: "s",
+		Params: map[string]string{"alpha": "0.5", "mode": "fast"},
+	}
+	got, err := Substitute("--alpha={alpha} --mode={mode} --out={run_id}.dat", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "--alpha=0.5 --mode=fast --out=g/s/run-00001.dat" {
+		t.Fatalf("substituted: %q", got)
+	}
+	if _, err := Substitute("--beta={beta}", run); err == nil {
+		t.Fatal("unresolved placeholder accepted")
+	}
+	plain, err := Substitute("no placeholders", run)
+	if err != nil || plain != "no placeholders" {
+		t.Fatalf("plain: %q, %v", plain, err)
+	}
+}
+
+func TestProcessExecutorRunsCommands(t *testing.T) {
+	root := t.TempDir()
+	exe := &ProcessExecutor{
+		Command:  []string{"sh", "-c", "echo param={x} >&1; echo side >&2"},
+		WorkRoot: root,
+		Timeout:  10 * time.Second,
+	}
+	run := cheetah.Run{ID: "g/s/run-00000", Group: "g", Sweep: "s",
+		Params: map[string]string{"x": "41"}}
+	if err := exe.Execute(run); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(root, "g/s/run-00000/stdout.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "param=41") {
+		t.Fatalf("stdout: %q", out)
+	}
+	errLog, err := os.ReadFile(filepath.Join(root, "g/s/run-00000/stderr.log"))
+	if err != nil || !strings.Contains(string(errLog), "side") {
+		t.Fatalf("stderr: %q, %v", errLog, err)
+	}
+}
+
+func TestProcessExecutorExportsSweepEnv(t *testing.T) {
+	root := t.TempDir()
+	exe := &ProcessExecutor{
+		Command:  []string{"sh", "-c", "echo $SWEEP_FEATURE $RUN_ID"},
+		WorkRoot: root,
+	}
+	run := cheetah.Run{ID: "g/s/run-00002", Params: map[string]string{"feature": "f7"}}
+	if err := exe.Execute(run); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(filepath.Join(root, "g/s/run-00002/stdout.log"))
+	if !strings.Contains(string(out), "f7 g/s/run-00002") {
+		t.Fatalf("env not exported: %q", out)
+	}
+}
+
+func TestProcessExecutorFailurePropagates(t *testing.T) {
+	exe := &ProcessExecutor{Command: []string{"sh", "-c", "exit 3"}}
+	if err := exe.Execute(cheetah.Run{ID: "r"}); err == nil {
+		t.Fatal("non-zero exit accepted")
+	}
+	empty := &ProcessExecutor{}
+	if err := empty.Execute(cheetah.Run{ID: "r"}); err == nil {
+		t.Fatal("empty command accepted")
+	}
+}
+
+func TestProcessExecutorTimeout(t *testing.T) {
+	exe := &ProcessExecutor{
+		Command: []string{"sh", "-c", "sleep 5"},
+		Timeout: 100 * time.Millisecond,
+	}
+	start := time.Now()
+	err := exe.Execute(cheetah.Run{ID: "slow"})
+	if err == nil {
+		t.Fatal("timeout not enforced")
+	}
+	if !strings.Contains(err.Error(), "walltime") {
+		t.Fatalf("error: %v", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout enforcement too slow")
+	}
+}
+
+func TestProcessExecutorThroughLocalEngine(t *testing.T) {
+	// End-to-end: a campaign of shell commands through the dynamic engine.
+	root := t.TempDir()
+	campaign := testCampaign(6)
+	m, _ := cheetah.BuildManifest(campaign)
+	exe := &ProcessExecutor{
+		Command:  []string{"sh", "-c", "test {i} -ne 3"}, // run 3 fails
+		WorkRoot: root,
+	}
+	eng := &LocalEngine{Executor: exe, Workers: 3}
+	results, err := eng.RunAll(campaign.Name, m.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int
+	for _, r := range results {
+		if r.Status == provenance.StatusFailed {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want exactly the planted failure", failed)
+	}
+}

@@ -1,0 +1,227 @@
+// Package savanna reimplements the execution half of the paper's
+// Cheetah/Savanna suite (Section IV): it consumes a campaign manifest (the
+// interoperability layer) and runs every enumerated run, either in-process
+// on real goroutine workers or on the hpcsim simulated cluster at Summit
+// scale.
+//
+// Two scheduling disciplines are provided because their contrast is the
+// paper's Fig. 6/7 result: the original workflow's set-synchronized
+// submission ("all experiments in a set must be complete before the next
+// set is run — straggler processes can severely limit performance") versus
+// Savanna's dynamic pilot resource manager, which "dynamically schedules
+// and tracks runs on the allocated nodes, no longer requiring synchronizing
+// runs and leading to better resource utilization".
+package savanna
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/provenance"
+)
+
+// Executor runs one campaign run in-process.
+type Executor interface {
+	// Execute performs the run; a non-nil error marks it failed.
+	Execute(run cheetah.Run) error
+}
+
+// FuncRegistry maps app names to Go functions — the in-process executor
+// backend ("this design allows us to import existing workflow tools" —
+// here, any Go callable becomes an app).
+type FuncRegistry struct {
+	mu   sync.RWMutex
+	apps map[string]func(params map[string]string) error
+	app  string
+}
+
+// NewFuncRegistry builds a registry bound to the campaign's app name.
+func NewFuncRegistry(app string) *FuncRegistry {
+	return &FuncRegistry{apps: map[string]func(map[string]string) error{}, app: app}
+}
+
+// Register adds an app implementation.
+func (r *FuncRegistry) Register(name string, fn func(params map[string]string) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apps[name] = fn
+}
+
+// Execute implements Executor.
+func (r *FuncRegistry) Execute(run cheetah.Run) error {
+	r.mu.RLock()
+	fn := r.apps[r.app]
+	r.mu.RUnlock()
+	if fn == nil {
+		return fmt.Errorf("savanna: no implementation registered for app %q", r.app)
+	}
+	return fn(run.Params)
+}
+
+// RunResult is the outcome of one executed run.
+type RunResult struct {
+	Run     cheetah.Run
+	Status  provenance.Status
+	Seconds float64
+	Err     string
+}
+
+// LocalEngine executes manifests in-process with a bounded worker pool (the
+// "nodes" of a local pilot).
+type LocalEngine struct {
+	// Executor performs each run.
+	Executor Executor
+	// Workers bounds concurrency (≥1).
+	Workers int
+	// Prov, when non-nil, receives a provenance record per run, stamped
+	// with the campaign id — the campaign-knowledge tier in action.
+	Prov *provenance.Store
+	// CampaignDir, when non-empty, receives status updates in the Cheetah
+	// directory schema.
+	CampaignDir string
+	// Retries re-executes a failed run up to this many extra times before
+	// recording it failed — in-engine handling of the transient failures
+	// that otherwise force a whole-campaign resubmission.
+	Retries int
+
+	// attempt numbers provenance records so resubmitted runs get fresh IDs
+	// (provenance is append-only; each attempt is its own record).
+	attempt int64
+}
+
+// validate checks the engine configuration.
+func (e *LocalEngine) validate() error {
+	if e.Executor == nil {
+		return fmt.Errorf("savanna: engine needs an executor")
+	}
+	if e.Workers < 1 {
+		return fmt.Errorf("savanna: engine needs ≥1 worker")
+	}
+	return nil
+}
+
+// RunAll executes the given runs with dynamic scheduling: workers pull the
+// next run as soon as they free up. Results are returned in the input
+// order.
+func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	results := make([]RunResult, len(runs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = e.executeOne(campaign, runs[i])
+			}
+		}()
+	}
+	for i := range runs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results, nil
+}
+
+// RunSets executes runs in barrier-synchronized sets of setSize — the
+// baseline discipline. All runs of a set must finish before the next set
+// starts, so one straggler idles every other worker.
+func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) ([]RunResult, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	if setSize < 1 {
+		return nil, fmt.Errorf("savanna: set size must be ≥1")
+	}
+	results := make([]RunResult, len(runs))
+	for lo := 0; lo < len(runs); lo += setSize {
+		hi := lo + setSize
+		if hi > len(runs) {
+			hi = len(runs)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.Workers)
+		for i := lo; i < hi; i++ {
+			i := i
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = e.executeOne(campaign, runs[i])
+			}()
+		}
+		wg.Wait() // the set barrier
+	}
+	return results, nil
+}
+
+func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
+	start := time.Now()
+	if e.CampaignDir != "" {
+		cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunRunning)
+	}
+	err := e.Executor.Execute(run)
+	for retry := 0; err != nil && retry < e.Retries; retry++ {
+		err = e.Executor.Execute(run)
+	}
+	elapsed := time.Since(start)
+	res := RunResult{Run: run, Seconds: elapsed.Seconds()}
+	status := provenance.StatusSucceeded
+	dirStatus := cheetah.RunSucceeded
+	if err != nil {
+		status = provenance.StatusFailed
+		dirStatus = cheetah.RunFailed
+		res.Err = err.Error()
+	}
+	res.Status = status
+	if e.CampaignDir != "" {
+		cheetah.SetRunStatus(e.CampaignDir, run.ID, dirStatus)
+	}
+	if e.Prov != nil {
+		end := time.Now()
+		e.Prov.Append(provenance.Record{
+			ID:         fmt.Sprintf("%s/%s#%d", campaign, run.ID, atomic.AddInt64(&e.attempt, 1)),
+			Component:  "savanna-run",
+			Start:      end.Add(-elapsed),
+			End:        end,
+			Status:     status,
+			CampaignID: campaign,
+			SweepPoint: run.Params,
+		})
+	}
+	return res
+}
+
+// Remaining filters a manifest's runs to those without a succeeded
+// provenance record — the resubmission set. "Users may simply re-submit a
+// partially completed SweepGroup of parameters to continue execution."
+func Remaining(m *cheetah.Manifest, prov *provenance.Store) []cheetah.Run {
+	done := map[string]bool{}
+	for _, rec := range prov.Select(provenance.Query{
+		CampaignID: m.Campaign.Name,
+		Status:     provenance.StatusSucceeded,
+	}) {
+		// Record IDs are "<campaign>/<runID>#<attempt>"; strip the attempt.
+		id := rec.ID
+		if i := strings.LastIndexByte(id, '#'); i >= 0 {
+			id = id[:i]
+		}
+		done[id] = true
+	}
+	var out []cheetah.Run
+	for _, run := range m.Runs {
+		if !done[m.Campaign.Name+"/"+run.ID] {
+			out = append(out, run)
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package savanna
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/hpcsim"
+)
+
+// DurationModel predicts the execution time of a run on the simulated
+// cluster. The model receives its own deterministic random stream derived
+// from the run identity, so the same run costs the same under every
+// scheduler — the comparison isolates scheduling, not luck.
+type DurationModel func(run cheetah.Run, rng *rand.Rand) float64
+
+// LogNormalDurations models the heavy-tailed per-feature iRF fit times of
+// Section V-D: most fits are quick, a tail of features (those with complex
+// trees) run several times longer — the stragglers that wreck the
+// set-synchronized baseline.
+func LogNormalDurations(medianSeconds, sigma float64) DurationModel {
+	return func(run cheetah.Run, rng *rand.Rand) float64 {
+		return math.Exp(rng.NormFloat64()*sigma + math.Log(medianSeconds))
+	}
+}
+
+// TruncatedLogNormalDurations caps the lognormal tail at maxSeconds. Use
+// this when runs must fit inside an allocation: a run longer than the
+// walltime could never complete under any scheduler, so the campaign would
+// never finish — real per-feature fits are bounded in practice.
+func TruncatedLogNormalDurations(medianSeconds, sigma, maxSeconds float64) DurationModel {
+	base := LogNormalDurations(medianSeconds, sigma)
+	return func(run cheetah.Run, rng *rand.Rand) float64 {
+		d := base(run, rng)
+		if d > maxSeconds {
+			d = maxSeconds
+		}
+		return d
+	}
+}
+
+// SimEngine executes campaign runs on a simulated cluster allocation.
+type SimEngine struct {
+	// Durations predicts per-run cost.
+	Durations DurationModel
+	// Seed derives per-run random streams.
+	Seed int64
+	// Failures, when MTTF > 0, arms node-failure injection on each
+	// allocation's cluster: failing nodes kill their runs (which requeue)
+	// and leave the allocation degraded until the walltime.
+	Failures hpcsim.FailureConfig
+}
+
+// runDuration derives the deterministic duration of a run.
+func (e *SimEngine) runDuration(run cheetah.Run) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(run.ID))
+	rng := rand.New(rand.NewSource(e.Seed ^ int64(h.Sum64())))
+	d := e.Durations(run, rng)
+	if d <= 0 {
+		d = 1e-6
+	}
+	return d
+}
+
+// AllocationOutcome is the result of pushing runs through one simulated
+// allocation.
+type AllocationOutcome struct {
+	// Completed lists the runs that finished inside the walltime.
+	Completed []cheetah.Run
+	// Killed counts runs that were started but cut off at the walltime.
+	Killed int
+	// WallSeconds is the allocation time actually used (≤ walltime).
+	WallSeconds float64
+	// Utilization is the busy fraction of the allocation's node-hours over
+	// the used wall time.
+	Utilization float64
+	// Timeline samples busy node counts over the allocation (Fig. 6).
+	Timeline []hpcsim.TimelinePoint
+}
+
+// Discipline selects the scheduling strategy inside an allocation.
+type Discipline string
+
+// Scheduling disciplines.
+const (
+	// Dynamic is Savanna's pilot: any idle node immediately takes the next
+	// pending run.
+	Dynamic Discipline = "dynamic"
+	// SetSynchronized is the baseline: runs go in sets of exactly the node
+	// count, with a barrier after each set.
+	SetSynchronized Discipline = "set-synchronized"
+)
+
+// RunAllocation executes as many of the given runs as fit in one allocation
+// of the given shape on a fresh simulated cluster, under the chosen
+// discipline. It returns the outcome; unfinished runs are simply absent
+// from Completed (resubmission picks them up).
+func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float64, d Discipline, clusterSeed int64) (*AllocationOutcome, error) {
+	if e.Durations == nil {
+		return nil, fmt.Errorf("savanna: sim engine needs a duration model")
+	}
+	if nodes < 1 || walltime <= 0 {
+		return nil, fmt.Errorf("savanna: invalid allocation shape %d nodes × %.0fs", nodes, walltime)
+	}
+	sim := hpcsim.New(clusterSeed)
+	cluster := hpcsim.NewCluster(sim, hpcsim.ClusterConfig{Nodes: nodes}, clusterSeed+1)
+	if e.Failures.MTTF > 0 {
+		fcfg := e.Failures
+		if fcfg.Horizon <= 0 {
+			fcfg.Horizon = walltime
+		}
+		hpcsim.NewFailureInjector(cluster, fcfg, clusterSeed+2)
+	}
+	out := &AllocationOutcome{}
+
+	pending := append([]cheetah.Run(nil), runs...)
+	var started float64
+	_, err := cluster.Submit(hpcsim.JobSpec{
+		Name:     "pilot",
+		Nodes:    nodes,
+		Walltime: walltime,
+		OnStart: func(a *hpcsim.Allocation) {
+			started = sim.Now()
+			switch d {
+			case Dynamic:
+				e.runDynamic(a, &pending, out)
+			case SetSynchronized:
+				e.runSets(a, &pending, out)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim.Run()
+	end := started + walltime
+	if len(pending) == 0 && out.Killed == 0 {
+		// Finished early; measure to the last busy moment.
+		_, last := cluster.Util().Span()
+		if last > started {
+			end = last
+		}
+	}
+	out.WallSeconds = end - started
+	out.Utilization = cluster.Util().UtilizationFraction(nodes, started, end)
+	out.Timeline = cluster.Util().Timeline(started, end, 48)
+	return out, nil
+}
+
+// runDynamic implements the Savanna pilot: every idle node pulls the next
+// pending run immediately.
+func (e *SimEngine) runDynamic(a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+	var assign func()
+	assign = func() {
+		if !a.Active() {
+			return
+		}
+		for _, nid := range a.IdleNodes() {
+			if len(*pending) == 0 {
+				break
+			}
+			run := (*pending)[0]
+			*pending = (*pending)[1:]
+			dur := e.runDuration(run)
+			a.RunTask(run.ID, nid, dur, func(ok bool) {
+				if ok {
+					out.Completed = append(out.Completed, run)
+				} else {
+					out.Killed++
+					*pending = append(*pending, run) // back to the queue
+				}
+				// Reassign in both cases: after a node failure the
+				// allocation lives on degraded and other idle nodes should
+				// pick the run back up (assign is a no-op once released).
+				assign()
+			})
+		}
+		if len(*pending) == 0 && len(a.IdleNodes()) == len(a.Nodes()) {
+			a.Release()
+		}
+	}
+	assign()
+}
+
+// runSets implements the baseline: sets sized to the node count, with an
+// explicit barrier — the next set starts only when every run of the current
+// set has finished.
+func (e *SimEngine) runSets(a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+	var nextSet func()
+	nextSet = func() {
+		if !a.Active() {
+			return
+		}
+		nodes := a.Nodes()
+		if len(*pending) == 0 || len(nodes) == 0 {
+			a.Release()
+			return
+		}
+		setSize := len(nodes)
+		if setSize > len(*pending) {
+			setSize = len(*pending)
+		}
+		set := (*pending)[:setSize]
+		*pending = (*pending)[setSize:]
+		outstanding := setSize
+		for i, run := range set {
+			dur := e.runDuration(run)
+			run := run
+			a.RunTask(run.ID, nodes[i], dur, func(ok bool) {
+				if ok {
+					out.Completed = append(out.Completed, run)
+				} else {
+					out.Killed++
+					*pending = append(*pending, run)
+				}
+				outstanding--
+				if outstanding == 0 {
+					nextSet() // the barrier
+				}
+			})
+		}
+	}
+	nextSet()
+}
+
+// CampaignOutcome aggregates a to-completion execution across repeated
+// allocations — the paper's resubmission loop.
+type CampaignOutcome struct {
+	// Allocations is the number of batch allocations consumed.
+	Allocations int
+	// PerAllocationCompleted is how many runs each allocation finished —
+	// the Fig. 7 metric ("parameters explored in 2-hour allocations").
+	PerAllocationCompleted []int
+	// MeanUtilization averages node utilisation across allocations.
+	MeanUtilization float64
+	// TotalWallSeconds sums allocation wall time.
+	TotalWallSeconds float64
+	// FirstTimeline is the Fig. 6 busy-node timeline of the first
+	// allocation.
+	FirstTimeline []hpcsim.TimelinePoint
+}
+
+// RunToCompletion repeatedly submits allocations until every run has
+// completed (or maxAllocations is hit, returning an error). Each allocation
+// resumes with exactly the runs that have not succeeded — Savanna's
+// "simply re-submit the SweepGroup" behaviour.
+func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime float64, d Discipline, seed int64, maxAllocations int) (*CampaignOutcome, error) {
+	done := map[string]bool{}
+	outcome := &CampaignOutcome{}
+	var utils []float64
+	remaining := append([]cheetah.Run(nil), runs...)
+	for alloc := 0; len(remaining) > 0; alloc++ {
+		if alloc >= maxAllocations {
+			return nil, fmt.Errorf("savanna: campaign incomplete after %d allocations (%d runs left)", maxAllocations, len(remaining))
+		}
+		res, err := e.RunAllocation(remaining, nodes, walltime, d, seed+int64(alloc)*7919)
+		if err != nil {
+			return nil, err
+		}
+		outcome.Allocations++
+		outcome.PerAllocationCompleted = append(outcome.PerAllocationCompleted, len(res.Completed))
+		outcome.TotalWallSeconds += res.WallSeconds
+		utils = append(utils, res.Utilization)
+		if alloc == 0 {
+			outcome.FirstTimeline = res.Timeline
+		}
+		for _, run := range res.Completed {
+			done[run.ID] = true
+		}
+		var next []cheetah.Run
+		for _, run := range remaining {
+			if !done[run.ID] {
+				next = append(next, run)
+			}
+		}
+		if len(next) == len(remaining) {
+			return nil, fmt.Errorf("savanna: allocation %d made no progress", alloc)
+		}
+		remaining = next
+	}
+	var sum float64
+	for _, u := range utils {
+		sum += u
+	}
+	if len(utils) > 0 {
+		outcome.MeanUtilization = sum / float64(len(utils))
+	}
+	return outcome, nil
+}

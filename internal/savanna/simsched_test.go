@@ -1,0 +1,231 @@
+package savanna
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/hpcsim"
+)
+
+func simRuns(t *testing.T, n int) []cheetah.Run {
+	t.Helper()
+	runs, err := testCampaign(n).EnumerateRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func heavyTail() DurationModel {
+	// Median 120 s with sigma 1.25 — the straggler regime of Section V-D.
+	return LogNormalDurations(120, 1.25)
+}
+
+func TestRunDurationDeterministicPerRun(t *testing.T) {
+	e := &SimEngine{Durations: heavyTail(), Seed: 5}
+	runs := simRuns(t, 10)
+	for _, r := range runs {
+		if e.runDuration(r) != e.runDuration(r) {
+			t.Fatal("duration not deterministic")
+		}
+	}
+	if e.runDuration(runs[0]) == e.runDuration(runs[1]) {
+		t.Fatal("distinct runs share a duration — hashing broken")
+	}
+}
+
+func TestRunAllocationValidation(t *testing.T) {
+	e := &SimEngine{Seed: 1}
+	if _, err := e.RunAllocation(nil, 4, 100, Dynamic, 1); err == nil {
+		t.Fatal("nil duration model accepted")
+	}
+	e.Durations = heavyTail()
+	if _, err := e.RunAllocation(nil, 0, 100, Dynamic, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := e.RunAllocation(nil, 4, 0, Dynamic, 1); err == nil {
+		t.Fatal("zero walltime accepted")
+	}
+}
+
+func TestDynamicCompletesAllWhenTimeAllows(t *testing.T) {
+	e := &SimEngine{Durations: LogNormalDurations(10, 0.1), Seed: 2}
+	runs := simRuns(t, 20)
+	out, err := e.RunAllocation(runs, 4, 1e5, Dynamic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Completed) != 20 || out.Killed != 0 {
+		t.Fatalf("completed=%d killed=%d", len(out.Completed), out.Killed)
+	}
+	if out.Utilization <= 0.5 {
+		t.Fatalf("dynamic utilization = %.2f", out.Utilization)
+	}
+	if len(out.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+}
+
+func TestWalltimeCutsOffRuns(t *testing.T) {
+	e := &SimEngine{Durations: LogNormalDurations(100, 0.1), Seed: 4}
+	runs := simRuns(t, 50)
+	out, err := e.RunAllocation(runs, 4, 500, Dynamic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Completed) >= 50 {
+		t.Fatal("everything completed despite a tight walltime")
+	}
+	if out.Killed == 0 {
+		t.Fatal("no runs were cut off at the walltime")
+	}
+	if out.WallSeconds != 500 {
+		t.Fatalf("wall seconds = %v", out.WallSeconds)
+	}
+}
+
+func TestDynamicBeatsSetSynchronizedOnStragglers(t *testing.T) {
+	// The Fig. 6/7 claim: same runs, same cluster shape, same per-run
+	// durations; only the discipline differs. Dynamic must complete
+	// substantially more within the allocation and waste fewer node-hours.
+	e := &SimEngine{Durations: heavyTail(), Seed: 7}
+	runs := simRuns(t, 400)
+	const nodes, walltime = 20, 7200 // the paper's 2-hour, 20-node allocation
+
+	dyn, err := e.RunAllocation(runs, nodes, walltime, Dynamic, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.RunAllocation(runs, nodes, walltime, SetSynchronized, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.Completed) < 3*len(set.Completed) {
+		t.Fatalf("dynamic %d vs set-sync %d: expected ≥3× improvement",
+			len(dyn.Completed), len(set.Completed))
+	}
+	if dyn.Utilization < set.Utilization {
+		t.Fatalf("dynamic utilization %.2f below baseline %.2f",
+			dyn.Utilization, set.Utilization)
+	}
+	if set.Utilization > 0.8 {
+		t.Fatalf("baseline utilization %.2f too high — stragglers should idle nodes", set.Utilization)
+	}
+}
+
+func TestSetSynchronizedCorrectnessSmall(t *testing.T) {
+	e := &SimEngine{Durations: LogNormalDurations(10, 0.5), Seed: 9}
+	runs := simRuns(t, 10)
+	out, err := e.RunAllocation(runs, 4, 1e6, SetSynchronized, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Completed) != 10 || out.Killed != 0 {
+		t.Fatalf("completed=%d killed=%d", len(out.Completed), out.Killed)
+	}
+	// No run completed twice.
+	seen := map[string]bool{}
+	for _, r := range out.Completed {
+		if seen[r.ID] {
+			t.Fatalf("run %s completed twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRunToCompletionResubmits(t *testing.T) {
+	e := &SimEngine{Durations: LogNormalDurations(100, 0.8), Seed: 15}
+	runs := simRuns(t, 60)
+	out, err := e.RunToCompletion(runs, 4, 1000, Dynamic, 17, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allocations < 2 {
+		t.Fatalf("expected multiple allocations, got %d", out.Allocations)
+	}
+	var total int
+	for _, c := range out.PerAllocationCompleted {
+		total += c
+	}
+	if total != 60 {
+		t.Fatalf("completed %d of 60 across allocations", total)
+	}
+	if len(out.FirstTimeline) == 0 || out.MeanUtilization <= 0 {
+		t.Fatal("missing aggregate metrics")
+	}
+}
+
+func TestRunToCompletionBoundsAllocations(t *testing.T) {
+	// Walltime too small for even one median run: no progress, must error
+	// rather than loop forever.
+	e := &SimEngine{Durations: LogNormalDurations(1000, 0.01), Seed: 19}
+	runs := simRuns(t, 4)
+	if _, err := e.RunToCompletion(runs, 2, 10, Dynamic, 21, 5); err == nil {
+		t.Fatal("no-progress campaign did not error")
+	}
+}
+
+func TestLogNormalDurationsStatistics(t *testing.T) {
+	m := LogNormalDurations(100, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	var below, total int
+	for i := 0; i < 5000; i++ {
+		d := m(cheetah.Run{}, rng)
+		if d <= 0 {
+			t.Fatal("non-positive duration")
+		}
+		if d < 100 {
+			below++
+		}
+		total++
+	}
+	frac := float64(below) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median check failed: %.2f below the median", frac)
+	}
+}
+
+func TestCampaignSurvivesNodeFailures(t *testing.T) {
+	e := &SimEngine{
+		Durations: LogNormalDurations(60, 0.5),
+		Seed:      23,
+		Failures:  hpcsim.FailureConfig{MTTF: 800, RepairTime: 120},
+	}
+	runs := simRuns(t, 80)
+	out, err := e.RunToCompletion(runs, 6, 2400, Dynamic, 25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, c := range out.PerAllocationCompleted {
+		total += c
+	}
+	if total != 80 {
+		t.Fatalf("completed %d of 80 despite resubmission", total)
+	}
+}
+
+func TestNodeFailuresKillAndRequeueRuns(t *testing.T) {
+	e := &SimEngine{
+		Durations: LogNormalDurations(300, 0.2),
+		Seed:      27,
+		Failures:  hpcsim.FailureConfig{MTTF: 400, RepairTime: 1e9}, // no repair
+	}
+	runs := simRuns(t, 40)
+	out, err := e.RunAllocation(runs, 8, 3000, Dynamic, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed == 0 {
+		t.Fatal("aggressive MTTF killed nothing")
+	}
+	// Killed runs must not appear in Completed.
+	seen := map[string]bool{}
+	for _, r := range out.Completed {
+		if seen[r.ID] {
+			t.Fatalf("run %s completed twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}

@@ -1,0 +1,25 @@
+package schema_test
+
+import (
+	"fmt"
+
+	"fairflow/internal/schema"
+)
+
+// Example plans a conversion pipeline through the format registry,
+// preferring the lossless path over a cheaper lossy shortcut.
+func Example() {
+	reg := schema.NewRegistry()
+	for _, name := range []string{"csv", "fbs", "custom"} {
+		reg.Register(schema.Format{Name: name, Version: 1, Family: schema.ASCII, Kind: schema.Table})
+	}
+	pass := func(v any) (any, error) { return v, nil }
+	reg.AddConverter(schema.Converter{From: "csv@v1", To: "fbs@v1", Cost: 1, Apply: pass})
+	reg.AddConverter(schema.Converter{From: "fbs@v1", To: "custom@v1", Cost: 1, Apply: pass})
+	reg.AddConverter(schema.Converter{From: "csv@v1", To: "custom@v1", Cost: 0.5, Lossy: true, Apply: pass})
+
+	plan, _ := reg.PlanConversion("csv@v1", "custom@v1")
+	fmt.Printf("hops: %d, lossy: %v\n", len(plan.Steps), plan.Lossy())
+	// Output:
+	// hops: 2, lossy: false
+}

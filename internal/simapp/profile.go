@@ -1,0 +1,87 @@
+package simapp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairflow/internal/expt"
+)
+
+// Profile describes the application as the hpcsim cluster sees it: a
+// sequence of compute phases with stochastic durations and a checkpoint
+// payload size. This is the virtual-scale mapping of the paper's Summit run
+// — 4096 MPI processes over 128 nodes, 50 timesteps, 1 TB of checkpoint
+// data per step — preserved in shape without materialising the data.
+type Profile struct {
+	// Steps is the number of timesteps (paper: 50).
+	Steps int
+	// Nodes is the node count of the batch job (paper: 128).
+	Nodes int
+	// RanksPerNode is informational (paper: 32 → 4096 ranks).
+	RanksPerNode int
+	// BytesPerCheckpoint is the checkpoint payload (paper: 1 TB).
+	BytesPerCheckpoint float64
+	// MeanStepSeconds is the mean compute time of one timestep.
+	MeanStepSeconds float64
+	// StepJitter is the lognormal sigma of per-step compute noise.
+	StepJitter float64
+	// ComputeScale multiplies all step times; the paper's Fig. 4 varies the
+	// application "configured to perform more/less computations and
+	// communication" between runs — this is that knob.
+	ComputeScale float64
+	// Seed drives the per-step noise.
+	Seed int64
+}
+
+// SummitProfile reproduces the paper's experiment shape: 50 steps × 1 TB on
+// 128 nodes, with ~60 s mean compute per step.
+func SummitProfile(seed int64) Profile {
+	return Profile{
+		Steps:              50,
+		Nodes:              128,
+		RanksPerNode:       32,
+		BytesPerCheckpoint: 1e12,
+		MeanStepSeconds:    60,
+		StepJitter:         0.25,
+		ComputeScale:       1.0,
+		Seed:               seed,
+	}
+}
+
+// Validate checks the profile is runnable.
+func (p Profile) Validate() error {
+	if p.Steps < 1 {
+		return fmt.Errorf("simapp: profile needs ≥1 step")
+	}
+	if p.Nodes < 1 {
+		return fmt.Errorf("simapp: profile needs ≥1 node")
+	}
+	if p.BytesPerCheckpoint < 0 {
+		return fmt.Errorf("simapp: negative checkpoint size")
+	}
+	if p.MeanStepSeconds <= 0 {
+		return fmt.Errorf("simapp: non-positive step time")
+	}
+	return nil
+}
+
+// StepTimes samples the per-step compute durations for one run. Durations
+// are lognormal around the scaled mean: mu is set so the distribution's
+// median equals MeanStepSeconds×ComputeScale.
+func (p Profile) StepTimes() ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	scale := p.ComputeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]float64, p.Steps)
+	mu := math.Log(p.MeanStepSeconds * scale)
+	for i := range out {
+		out[i] = expt.LogNormal(rng, mu, p.StepJitter)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package skel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadTemplateSetDir reads a user-supplied template set from a directory —
+// the extensibility path for teams packaging their own generated workflows:
+//
+//	<dir>/spec.json        the ModelSpec (field declarations)
+//	<dir>/**/*.tmpl        templates; the output path is the file's path
+//	                       relative to dir with ".tmpl" stripped, itself
+//	                       treated as a path template ({{.field}} allowed
+//	                       in file/directory names)
+//
+// A template file whose first line is "#!..." is written mode 0755.
+func LoadTemplateSetDir(dir string) (TemplateSet, error) {
+	specData, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return TemplateSet{}, fmt.Errorf("skel: template set needs %s/spec.json: %w", dir, err)
+	}
+	var spec ModelSpec
+	if err := json.Unmarshal(specData, &spec); err != nil {
+		return TemplateSet{}, fmt.Errorf("skel: parsing %s/spec.json: %w", dir, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return TemplateSet{}, err
+	}
+
+	set := TemplateSet{Spec: spec}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".tmpl") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		mode := os.FileMode(0o644)
+		if strings.HasPrefix(string(body), "#!") {
+			mode = 0o755
+		}
+		set.Templates = append(set.Templates, Template{
+			Path: strings.TrimSuffix(filepath.ToSlash(rel), ".tmpl"),
+			Body: string(body),
+			Mode: mode,
+		})
+		return nil
+	})
+	if err != nil {
+		return TemplateSet{}, err
+	}
+	if len(set.Templates) == 0 {
+		return TemplateSet{}, fmt.Errorf("skel: template set %s has no *.tmpl files", dir)
+	}
+	return set, nil
+}

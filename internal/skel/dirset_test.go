@@ -1,0 +1,88 @@
+package skel
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemplateDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	spec := `{
+  "name": "user-set",
+  "fields": [
+    {"name": "job", "kind": "string", "required": true},
+    {"name": "count", "kind": "int", "default": 2}
+  ]
+}`
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run.sh.tmpl"),
+		[]byte("#!/bin/sh\necho {{.job}} x{{.count}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "conf")
+	os.MkdirAll(sub, 0o755)
+	if err := os.WriteFile(filepath.Join(sub, "{{.job}}.json.tmpl"),
+		[]byte(`{"count": {{.count}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadTemplateSetDir(t *testing.T) {
+	dir := writeTemplateDir(t)
+	set, err := LoadTemplateSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Spec.Name != "user-set" || len(set.Templates) != 2 {
+		t.Fatalf("set: %+v", set.Spec)
+	}
+	man, artifacts, err := Generate(set, Model{"job": "align"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]Artifact{}
+	for _, a := range artifacts {
+		byPath[a.Path] = a
+	}
+	run, ok := byPath["run.sh"]
+	if !ok || !strings.Contains(run.Content, "echo align x2") {
+		t.Fatalf("run.sh: %+v", run)
+	}
+	if run.Mode != 0o755 {
+		t.Fatalf("shebang file mode: %v", run.Mode)
+	}
+	conf, ok := byPath["conf/align.json"]
+	if !ok || !strings.Contains(conf.Content, `"count": 2`) {
+		t.Fatalf("conf: %+v", conf)
+	}
+	if conf.Mode != 0o644 {
+		t.Fatalf("config mode: %v", conf.Mode)
+	}
+	if man.Digest() == "" {
+		t.Fatal("no digest")
+	}
+}
+
+func TestLoadTemplateSetDirErrors(t *testing.T) {
+	empty := t.TempDir()
+	if _, err := LoadTemplateSetDir(empty); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	noTmpl := t.TempDir()
+	os.WriteFile(filepath.Join(noTmpl, "spec.json"),
+		[]byte(`{"name":"x","fields":[{"name":"a","kind":"string"}]}`), 0o644)
+	if _, err := LoadTemplateSetDir(noTmpl); err == nil {
+		t.Fatal("template-less set accepted")
+	}
+	badSpec := t.TempDir()
+	os.WriteFile(filepath.Join(badSpec, "spec.json"), []byte(`{`), 0o644)
+	if _, err := LoadTemplateSetDir(badSpec); err == nil {
+		t.Fatal("corrupt spec accepted")
+	}
+}

@@ -1,0 +1,340 @@
+// Package skel reimplements the paper's Skel tool (Section IV): model-driven
+// code generation that "couples a model of a desired action with one or more
+// textual templates that drive the creation of files that implement the
+// action". A model is a small, validated JSON document — the single point of
+// user interaction; the generator instantiates a registered template set
+// into a concrete set of artifacts (scripts, specs, configs) that can be
+// deleted and regenerated at will, which is exactly why generated code
+// carries no technical debt.
+package skel
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/template"
+)
+
+// FieldKind types a model field.
+type FieldKind string
+
+// Model field kinds.
+const (
+	KindString FieldKind = "string"
+	KindInt    FieldKind = "int"
+	KindFloat  FieldKind = "float"
+	KindBool   FieldKind = "bool"
+	KindList   FieldKind = "list" // list of strings
+)
+
+// FieldSpec declares one model field: its type, whether the user must
+// supply it, and an optional default. The set of FieldSpecs is the
+// machine-actionable customization profile of the customizability gauge —
+// "the subset of relevant variables that reflect how a component might need
+// to be customized".
+type FieldSpec struct {
+	Name        string    `json:"name"`
+	Kind        FieldKind `json:"kind"`
+	Required    bool      `json:"required"`
+	Default     any       `json:"default,omitempty"`
+	Description string    `json:"description,omitempty"`
+}
+
+// ModelSpec is the schema of a model: what the template set needs to know.
+type ModelSpec struct {
+	Name   string      `json:"name"`
+	Fields []FieldSpec `json:"fields"`
+}
+
+// Validate checks spec consistency.
+func (s ModelSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("skel: model spec needs a name")
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("skel: spec %q has unnamed field", s.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("skel: spec %q duplicates field %q", s.Name, f.Name)
+		}
+		seen[f.Name] = true
+		switch f.Kind {
+		case KindString, KindInt, KindFloat, KindBool, KindList:
+		default:
+			return fmt.Errorf("skel: field %q has unknown kind %q", f.Name, f.Kind)
+		}
+		if f.Required && f.Default != nil {
+			return fmt.Errorf("skel: field %q is required but has a default", f.Name)
+		}
+	}
+	return nil
+}
+
+// Field returns the named field spec.
+func (s ModelSpec) Field(name string) (FieldSpec, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FieldSpec{}, false
+}
+
+// Model is a concrete set of user decisions: field name → value. It is the
+// "focused point of interaction" of Section V-A — the only thing a user
+// edits between runs.
+type Model map[string]any
+
+// LoadModel parses a model from JSON.
+func LoadModel(r io.Reader) (Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("skel: parsing model: %w", err)
+	}
+	return m, nil
+}
+
+// LoadModelFile parses a model from a JSON file.
+func LoadModelFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// Resolve validates the model against a spec and returns the complete field
+// map: defaults applied, types coerced (JSON numbers to int/float), unknown
+// fields rejected. The resolved map is what templates see.
+func Resolve(spec ModelSpec, m Model) (map[string]any, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	for name := range m {
+		if _, ok := spec.Field(name); !ok {
+			return nil, fmt.Errorf("skel: model has unknown field %q", name)
+		}
+	}
+	for _, f := range spec.Fields {
+		raw, present := m[f.Name]
+		if !present {
+			if f.Required {
+				return nil, fmt.Errorf("skel: required field %q missing", f.Name)
+			}
+			if f.Default != nil {
+				out[f.Name] = f.Default
+			}
+			continue
+		}
+		v, err := coerce(f, raw)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = v
+	}
+	return out, nil
+}
+
+func coerce(f FieldSpec, raw any) (any, error) {
+	fail := func() (any, error) {
+		return nil, fmt.Errorf("skel: field %q wants %s, got %T (%v)", f.Name, f.Kind, raw, raw)
+	}
+	switch f.Kind {
+	case KindString:
+		if s, ok := raw.(string); ok {
+			return s, nil
+		}
+		return fail()
+	case KindBool:
+		if b, ok := raw.(bool); ok {
+			return b, nil
+		}
+		return fail()
+	case KindInt:
+		switch n := raw.(type) {
+		case json.Number:
+			i, err := n.Int64()
+			if err != nil {
+				return fail()
+			}
+			return int(i), nil
+		case int:
+			return n, nil
+		case float64:
+			if n == float64(int(n)) {
+				return int(n), nil
+			}
+		}
+		return fail()
+	case KindFloat:
+		switch n := raw.(type) {
+		case json.Number:
+			v, err := n.Float64()
+			if err != nil {
+				return fail()
+			}
+			return v, nil
+		case float64:
+			return n, nil
+		case int:
+			return float64(n), nil
+		}
+		return fail()
+	case KindList:
+		switch l := raw.(type) {
+		case []string:
+			return l, nil
+		case []any:
+			out := make([]string, len(l))
+			for i, e := range l {
+				s, ok := e.(string)
+				if !ok {
+					return fail()
+				}
+				out[i] = s
+			}
+			return out, nil
+		}
+		return fail()
+	}
+	return fail()
+}
+
+// Template is one output file pattern of a template set.
+type Template struct {
+	// Path is a text/template for the artifact's relative output path.
+	Path string
+	// Body is the text/template for the content.
+	Body string
+	// Mode is the file mode when written to disk (0 = 0644).
+	Mode os.FileMode
+}
+
+// TemplateSet couples a model spec with the templates it drives.
+type TemplateSet struct {
+	Spec      ModelSpec
+	Templates []Template
+}
+
+// Artifact is one generated file.
+type Artifact struct {
+	Path    string      `json:"path"`
+	Content string      `json:"-"`
+	SHA256  string      `json:"sha256"`
+	Mode    os.FileMode `json:"mode"`
+}
+
+// Manifest records a generation: which artifacts exist and their digests.
+// Regeneration with the same model yields the same manifest — the
+// reproducibility contract that lets generated code be deleted freely.
+type Manifest struct {
+	Model     map[string]any `json:"model"`
+	Artifacts []Artifact     `json:"artifacts"`
+}
+
+// Digest returns a stable hash over artifact paths and content digests.
+func (m Manifest) Digest() string {
+	h := sha256.New()
+	for _, a := range m.Artifacts {
+		io.WriteString(h, a.Path)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, a.SHA256)
+		io.WriteString(h, "\x00")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// funcMap provides the helpers templates may use.
+var funcMap = template.FuncMap{
+	"join":  strings.Join,
+	"upper": strings.ToUpper,
+	"lower": strings.ToLower,
+	"seq": func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	},
+	"add": func(a, b int) int { return a + b },
+	"mul": func(a, b int) int { return a * b },
+}
+
+// Generate resolves the model and instantiates every template in the set,
+// returning the artifacts and their manifest (sorted by path).
+func Generate(set TemplateSet, m Model) (*Manifest, []Artifact, error) {
+	resolved, err := Resolve(set.Spec, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	var artifacts []Artifact
+	for i, t := range set.Templates {
+		pathTmpl, err := template.New(fmt.Sprintf("path-%d", i)).Funcs(funcMap).Parse(t.Path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("skel: template %d path: %w", i, err)
+		}
+		var pathBuf bytes.Buffer
+		if err := pathTmpl.Execute(&pathBuf, resolved); err != nil {
+			return nil, nil, fmt.Errorf("skel: template %d path: %w", i, err)
+		}
+		bodyTmpl, err := template.New(fmt.Sprintf("body-%d", i)).Funcs(funcMap).Parse(t.Body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("skel: template %d body: %w", i, err)
+		}
+		var bodyBuf bytes.Buffer
+		if err := bodyTmpl.Execute(&bodyBuf, resolved); err != nil {
+			return nil, nil, fmt.Errorf("skel: template %d body: %w", i, err)
+		}
+		mode := t.Mode
+		if mode == 0 {
+			mode = 0o644
+		}
+		sum := sha256.Sum256(bodyBuf.Bytes())
+		artifacts = append(artifacts, Artifact{
+			Path:    filepath.Clean(pathBuf.String()),
+			Content: bodyBuf.String(),
+			SHA256:  hex.EncodeToString(sum[:]),
+			Mode:    mode,
+		})
+	}
+	sort.Slice(artifacts, func(i, j int) bool { return artifacts[i].Path < artifacts[j].Path })
+	for i := 1; i < len(artifacts); i++ {
+		if artifacts[i].Path == artifacts[i-1].Path {
+			return nil, nil, fmt.Errorf("skel: templates collide on path %q", artifacts[i].Path)
+		}
+	}
+	man := &Manifest{Model: resolved, Artifacts: artifacts}
+	return man, artifacts, nil
+}
+
+// WriteArtifacts materialises artifacts under root, creating directories as
+// needed. Paths escaping root are rejected.
+func WriteArtifacts(root string, artifacts []Artifact) error {
+	for _, a := range artifacts {
+		dst := filepath.Join(root, a.Path)
+		rel, err := filepath.Rel(root, dst)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("skel: artifact path %q escapes root", a.Path)
+		}
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, []byte(a.Content), a.Mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

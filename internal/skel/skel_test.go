@@ -1,0 +1,262 @@
+package skel
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoSpec() ModelSpec {
+	return ModelSpec{
+		Name: "demo",
+		Fields: []FieldSpec{
+			{Name: "name", Kind: KindString, Required: true},
+			{Name: "count", Kind: KindInt, Default: 4},
+			{Name: "rate", Kind: KindFloat, Default: 1.5},
+			{Name: "verbose", Kind: KindBool, Default: false},
+			{Name: "tags", Kind: KindList, Default: []string{"a"}},
+		},
+	}
+}
+
+func TestModelSpecValidate(t *testing.T) {
+	if err := demoSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ModelSpec{
+		{},
+		{Name: "x", Fields: []FieldSpec{{Kind: KindString}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Kind: "weird"}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Kind: KindString}, {Name: "a", Kind: KindInt}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Kind: KindString, Required: true, Default: "d"}}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestResolveAppliesDefaultsAndCoercion(t *testing.T) {
+	m := Model{"name": "run1", "count": float64(7)}
+	got, err := Resolve(demoSpec(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "run1" || got["count"] != 7 || got["rate"] != 1.5 || got["verbose"] != false {
+		t.Fatalf("resolved: %v", got)
+	}
+	if tags := got["tags"].([]string); len(tags) != 1 || tags[0] != "a" {
+		t.Fatalf("tags: %v", got["tags"])
+	}
+}
+
+func TestResolveRejections(t *testing.T) {
+	spec := demoSpec()
+	cases := []Model{
+		{},                                 // missing required
+		{"name": "x", "unknown": 1},        // unknown field
+		{"name": 7},                        // wrong type
+		{"name": "x", "count": 1.5},        // non-integral
+		{"name": "x", "verbose": "yes"},    // wrong bool
+		{"name": "x", "tags": []any{1, 2}}, // non-string list
+	}
+	for i, m := range cases {
+		if _, err := Resolve(spec, m); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadModelJSONNumbers(t *testing.T) {
+	m, err := LoadModel(strings.NewReader(`{"name":"x","count":12,"rate":2.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve(demoSpec(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["count"] != 12 || got["rate"] != 2.5 {
+		t.Fatalf("resolved: %v", got)
+	}
+}
+
+func TestGenerateSimpleSet(t *testing.T) {
+	set := TemplateSet{
+		Spec: demoSpec(),
+		Templates: []Template{
+			{Path: "{{.name}}/run.sh", Body: "#!/bin/sh\necho {{.count}} {{join .tags \",\"}}\n", Mode: 0o755},
+			{Path: "{{.name}}/config.json", Body: `{"rate": {{.rate}}}`},
+		},
+	}
+	man, artifacts, err := Generate(set, Model{"name": "job", "tags": []any{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(artifacts) != 2 {
+		t.Fatalf("artifacts = %d", len(artifacts))
+	}
+	if artifacts[0].Path != "job/config.json" || artifacts[1].Path != "job/run.sh" {
+		t.Fatalf("paths: %v, %v", artifacts[0].Path, artifacts[1].Path)
+	}
+	if !strings.Contains(artifacts[1].Content, "echo 4 x,y") {
+		t.Fatalf("body: %q", artifacts[1].Content)
+	}
+	if artifacts[1].Mode != 0o755 {
+		t.Fatalf("mode: %v", artifacts[1].Mode)
+	}
+	if man.Digest() == "" || len(man.Artifacts) != 2 {
+		t.Fatal("bad manifest")
+	}
+}
+
+func TestGenerateDeterministicDigest(t *testing.T) {
+	set := PasteTemplates()
+	m := Model{"dataset_dir": "/data", "output_file": "/out.tsv", "account": "bio101"}
+	a, _, err := Generate(set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same model produced different digests")
+	}
+	m2 := Model{"dataset_dir": "/data2", "output_file": "/out.tsv", "account": "bio101"}
+	c, _, err := Generate(set, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different models produced identical digests")
+	}
+}
+
+func TestGeneratePathCollision(t *testing.T) {
+	set := TemplateSet{
+		Spec: demoSpec(),
+		Templates: []Template{
+			{Path: "same.txt", Body: "a"},
+			{Path: "same.txt", Body: "b"},
+		},
+	}
+	if _, _, err := Generate(set, Model{"name": "x"}); err == nil {
+		t.Fatal("colliding paths accepted")
+	}
+}
+
+func TestGenerateBadTemplate(t *testing.T) {
+	set := TemplateSet{
+		Spec:      demoSpec(),
+		Templates: []Template{{Path: "f", Body: "{{.missing_helper |"}},
+	}
+	if _, _, err := Generate(set, Model{"name": "x"}); err == nil {
+		t.Fatal("unparsable template accepted")
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	arts := []Artifact{
+		{Path: "sub/a.txt", Content: "hello", Mode: 0o644},
+		{Path: "b.sh", Content: "#!/bin/sh\n", Mode: 0o755},
+	}
+	if err := WriteArtifacts(dir, arts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sub", "a.txt"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back: %q, %v", data, err)
+	}
+	info, err := os.Stat(filepath.Join(dir, "b.sh"))
+	if err != nil || info.Mode().Perm() != 0o755 {
+		t.Fatalf("mode: %v, %v", info.Mode(), err)
+	}
+}
+
+func TestWriteArtifactsRejectsEscape(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteArtifacts(dir, []Artifact{{Path: "../evil", Content: "x"}}); err == nil {
+		t.Fatal("path escape accepted")
+	}
+}
+
+func TestPasteTemplatesGenerateFullWorkflow(t *testing.T) {
+	m := Model{
+		"dataset_dir": "/gpfs/data/geno",
+		"output_file": "/gpfs/data/matrix.tsv",
+		"account":     "BIF101",
+		"fan_in":      32,
+	}
+	man, artifacts, err := Generate(PasteTemplates(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(artifacts) != 4 {
+		t.Fatalf("artifacts = %d", len(artifacts))
+	}
+	byPath := map[string]string{}
+	for _, a := range artifacts {
+		byPath[a.Path] = a.Content
+	}
+	run := byPath["run_paste.sh"]
+	if !strings.Contains(run, "-fanin 32") || !strings.Contains(run, "/gpfs/data/geno") {
+		t.Fatalf("run script: %q", run)
+	}
+	if !strings.Contains(byPath["campaign.json"], `"account": "BIF101"`) {
+		t.Fatalf("campaign: %q", byPath["campaign.json"])
+	}
+	if man.Model["fan_in"] != 32 {
+		t.Fatalf("resolved model: %v", man.Model)
+	}
+	// Defaults flowed through.
+	if !strings.Contains(run, "-parallel 8") {
+		t.Fatalf("default parallelism missing: %q", run)
+	}
+}
+
+func TestCompareInterventionsScaling(t *testing.T) {
+	small, err := CompareInterventions(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CompareInterventions(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.ModelDriven != 3 || big.ModelDriven != 3 {
+		t.Fatal("model-driven interventions must not scale with dataset size")
+	}
+	if big.Manual <= small.Manual {
+		t.Fatal("manual interventions must grow with sub-job count")
+	}
+	if big.SubJobs != 8 {
+		t.Fatalf("sub-jobs = %d", big.SubJobs)
+	}
+	if _, err := CompareInterventions(0, 8); err == nil {
+		t.Fatal("zero files accepted")
+	}
+	if _, err := CompareInterventions(10, 1); err == nil {
+		t.Fatal("fan-in 1 accepted")
+	}
+}
+
+func TestCompareInterventionsManualAlwaysWorse(t *testing.T) {
+	f := func(filesRaw, fanRaw uint8) bool {
+		files := int(filesRaw)%1000 + 1
+		fan := int(fanRaw)%63 + 2
+		c, err := CompareInterventions(files, fan)
+		if err != nil {
+			return false
+		}
+		return c.Manual > c.ModelDriven
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

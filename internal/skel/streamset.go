@@ -1,0 +1,191 @@
+package skel
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StreamModelSpec is the model schema for a generated
+// collection/selection/forwarding deployment (paper Section V-C): the
+// stream's record schema and the initial set of virtual data queues. Each
+// queue is declared compactly as "name=kind[:arg[:arg]]":
+//
+//	live=forward-all
+//	smooth=window-count:64:64
+//	monitor=sample:10
+//	steer=direct-selection:4096
+//	recent=window-time:500ms
+func StreamModelSpec() ModelSpec {
+	return ModelSpec{
+		Name: "stream-deployment",
+		Fields: []FieldSpec{
+			{Name: "name", Kind: KindString, Required: true,
+				Description: "deployment name"},
+			{Name: "schema_name", Kind: KindString, Required: true,
+				Description: "record schema name"},
+			{Name: "fields", Kind: KindList, Required: true,
+				Description: "record fields as name:type (types: int64, float64, string, bytes, bool)"},
+			{Name: "queues", Kind: KindList, Required: true,
+				Description: "virtual data queues as name=kind[:args]"},
+			{Name: "listen_addr", Kind: KindString, Default: "127.0.0.1:7780",
+				Description: "TCP listen address of the scheduler server"},
+		},
+	}
+}
+
+// queuePunctuation converts one "name=kind[:a[:b]]" declaration into the
+// JSON wire punctuation that installs it. It is exposed to templates as
+// {{queueJSON q}}.
+func queuePunctuation(decl string) (string, error) {
+	eq := strings.IndexByte(decl, '=')
+	if eq <= 0 {
+		return "", fmt.Errorf("skel: queue declaration %q needs name=kind", decl)
+	}
+	name := decl[:eq]
+	parts := strings.Split(decl[eq+1:], ":")
+	kind := parts[0]
+	args := parts[1:]
+
+	policy := map[string]any{}
+	atoi := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("skel: queue %q kind %q missing argument %d", name, kind, i+1)
+		}
+		return strconv.Atoi(args[i])
+	}
+	switch kind {
+	case "forward-all":
+		policy["kind"] = "forward-all"
+	case "window-count":
+		size, err := atoi(0)
+		if err != nil {
+			return "", err
+		}
+		stride := size
+		if len(args) > 1 {
+			if stride, err = atoi(1); err != nil {
+				return "", err
+			}
+		}
+		policy["kind"], policy["size"], policy["stride"] = "window-count", size, stride
+	case "window-time":
+		if len(args) < 1 {
+			return "", fmt.Errorf("skel: queue %q window-time needs a duration", name)
+		}
+		ms, err := parseDurationMS(args[0])
+		if err != nil {
+			return "", fmt.Errorf("skel: queue %q: %w", name, err)
+		}
+		policy["kind"], policy["span_ms"] = "window-time", ms
+	case "direct-selection":
+		capVal := 4096
+		if len(args) > 0 {
+			var err error
+			if capVal, err = atoi(0); err != nil {
+				return "", err
+			}
+		}
+		policy["kind"], policy["capacity"] = "direct-selection", capVal
+	case "sample":
+		n, err := atoi(0)
+		if err != nil {
+			return "", err
+		}
+		policy["kind"], policy["n"] = "sample", n
+	default:
+		return "", fmt.Errorf("skel: queue %q has unknown policy kind %q", name, kind)
+	}
+	out, err := json.Marshal(map[string]any{"op": "install", "queue": name, "policy": policy})
+	return string(out), err
+}
+
+// parseDurationMS parses "500ms", "2s", or a bare millisecond count.
+func parseDurationMS(s string) (int64, error) {
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "ms"), 10, 64)
+		return v, err
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "s"), 10, 64)
+		return v * 1000, err
+	default:
+		return strconv.ParseInt(s, 10, 64)
+	}
+}
+
+// fieldJSON converts "name:type" into a schema field JSON object.
+func fieldJSON(decl string) (string, error) {
+	parts := strings.SplitN(decl, ":", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		return "", fmt.Errorf("skel: field declaration %q needs name:type", decl)
+	}
+	switch parts[1] {
+	case "int64", "float64", "string", "bytes", "bool":
+	default:
+		return "", fmt.Errorf("skel: field %q has unknown type %q", parts[0], parts[1])
+	}
+	out, err := json.Marshal(map[string]string{"name": parts[0], "type": parts[1]})
+	return string(out), err
+}
+
+func init() {
+	funcMap["queueJSON"] = queuePunctuation
+	funcMap["fieldJSON"] = fieldJSON
+}
+
+// StreamTemplates generates a runnable streaming deployment: the schema
+// description, the punctuation script that installs the declared virtual
+// queues (replayable through stream.ApplyPunctuationScript or the TCP
+// control channel), a start script, and a steering cheat-sheet. The
+// communication components themselves live in the library and never change;
+// everything that varies is in these generated files — the Fig. 5 division
+// of labour.
+func StreamTemplates() TemplateSet {
+	return TemplateSet{
+		Spec: StreamModelSpec(),
+		Templates: []Template{
+			{
+				Path: "{{.name}}/schema.json",
+				Body: `{
+  "name": "{{.schema_name}}",
+  "fields": [{{range $i, $f := .fields}}{{if $i}}, {{end}}{{fieldJSON $f}}{{end}}]
+}
+`,
+			},
+			{
+				Path: "{{.name}}/deployment.punct",
+				Body: `# Generated virtual-queue deployment for {{.name}} — replay through the
+# control channel or stream.ApplyPunctuationScript. Do not edit; edit the
+# model and regenerate.
+{{range .queues}}{{queueJSON .}}
+{{end}}{"op":"mark","label":"deployment-complete"}
+`,
+			},
+			{
+				Path: "{{.name}}/start_server.sh",
+				Mode: 0o755,
+				Body: `#!/bin/sh
+# Generated by skel: start the {{.name}} data scheduler.
+exec streamdemo -addr {{.listen_addr}}
+`,
+			},
+			{
+				Path: "{{.name}}/STEERING.md",
+				Body: `# Steering {{.name}} at runtime
+
+Connect a control client to {{.listen_addr}} and send JSON punctuation:
+
+` + "```" + `
+{"op":"install","queue":"late","policy":{"kind":"direct-selection","capacity":1024}}
+{"op":"select","queue":"late","seqs":[42]}
+{"op":"deactivate","queue":"late"}
+` + "```" + `
+
+Queues declared at generation time: {{join .queues ", "}}.
+`,
+			},
+		},
+	}
+}

@@ -1,0 +1,84 @@
+package skel
+
+import (
+	"strings"
+	"testing"
+)
+
+func streamModel() Model {
+	return Model{
+		"name":        "beamline",
+		"schema_name": "shot",
+		"fields":      []any{"id:int64", "intensity:float64"},
+		"queues": []any{
+			"live=forward-all",
+			"smooth=window-count:64",
+			"monitor=sample:10",
+			"steer=direct-selection:2048",
+			"recent=window-time:500ms",
+		},
+	}
+}
+
+func TestStreamTemplatesGenerate(t *testing.T) {
+	man, artifacts, err := Generate(StreamTemplates(), streamModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(artifacts) != 4 {
+		t.Fatalf("artifacts = %d", len(artifacts))
+	}
+	byPath := map[string]string{}
+	for _, a := range artifacts {
+		byPath[a.Path] = a.Content
+	}
+	dep := byPath["beamline/deployment.punct"]
+	for _, want := range []string{
+		`"queue":"live"`, `"kind":"forward-all"`,
+		`"size":64`, `"stride":64`,
+		`"n":10`,
+		`"capacity":2048`,
+		`"span_ms":500`,
+		`"op":"mark"`,
+	} {
+		if !strings.Contains(dep, want) {
+			t.Fatalf("deployment missing %q:\n%s", want, dep)
+		}
+	}
+	schema := byPath["beamline/schema.json"]
+	if !strings.Contains(schema, `"name":"intensity"`) || !strings.Contains(schema, `"type":"float64"`) {
+		t.Fatalf("schema: %s", schema)
+	}
+	if man.Digest() == "" {
+		t.Fatal("no manifest digest")
+	}
+}
+
+func TestStreamTemplatesRejectBadDeclarations(t *testing.T) {
+	bad := []Model{
+		func() Model { m := streamModel(); m["queues"] = []any{"noequals"}; return m }(),
+		func() Model { m := streamModel(); m["queues"] = []any{"q=anti-gravity"}; return m }(),
+		func() Model { m := streamModel(); m["queues"] = []any{"q=window-count"}; return m }(),
+		func() Model { m := streamModel(); m["queues"] = []any{"q=window-count:x"}; return m }(),
+		func() Model { m := streamModel(); m["fields"] = []any{"noname"}; return m }(),
+		func() Model { m := streamModel(); m["fields"] = []any{"x:complex128"}; return m }(),
+	}
+	for i, m := range bad {
+		if _, _, err := Generate(StreamTemplates(), m); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestParseDurationMS(t *testing.T) {
+	cases := map[string]int64{"500ms": 500, "2s": 2000, "750": 750}
+	for in, want := range cases {
+		got, err := parseDurationMS(in)
+		if err != nil || got != want {
+			t.Fatalf("parseDurationMS(%q) = %d, %v", in, got, err)
+		}
+	}
+	if _, err := parseDurationMS("fast"); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func BenchmarkFBSEncode(b *testing.B) {
+	schema := sensorSchema()
+	rec, _ := NewRecord(schema, int64(7), 3.14, "K", []byte{1, 2, 3, 4}, true)
+	it := Item{Seq: 1, Time: time.Unix(1000, 0), Payload: rec}
+	enc, _ := NewEncoder(io.Discard, schema)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBSDecode(b *testing.B) {
+	schema := sensorSchema()
+	var buf bytes.Buffer
+	enc, _ := NewEncoder(&buf, schema)
+	rec, _ := NewRecord(schema, int64(7), 3.14, "K", []byte{1, 2, 3, 4}, true)
+	const batch = 1000
+	for i := 0; i < batch; i++ {
+		enc.Encode(Item{Seq: int64(i), Time: time.Unix(1000, 0), Payload: rec})
+	}
+	enc.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		dec := NewDecoder(bytes.NewReader(data))
+		for j := 0; j < batch; j++ {
+			if _, err := dec.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulerIngestTwoQueues(b *testing.B) {
+	sched := NewScheduler()
+	sched.Subscribe(func(string, Item) {})
+	sched.Install("all", ForwardAll{})
+	samp, _ := NewSampleEveryN(10)
+	sched.Install("sampled", samp)
+	schema := intSchema()
+	rec, _ := NewRecord(schema, int64(1))
+	it := Item{Seq: 1, Payload: rec}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it.Seq = int64(i)
+		sched.Ingest(it)
+	}
+}

@@ -1,0 +1,34 @@
+package stream_test
+
+import (
+	"fmt"
+	"time"
+
+	"fairflow/internal/stream"
+)
+
+// Example runs the Fig. 5 pattern in miniature: a scheduler with a live
+// queue, a steering-installed selection queue, and punctuation pulling one
+// item out.
+func Example() {
+	schema := &stream.Schema{Name: "shot", Fields: []stream.Field{{Name: "v", Type: stream.TInt64}}}
+	sched := stream.NewScheduler()
+	sched.Subscribe(func(queue string, it stream.Item) {
+		fmt.Printf("%s ← item %d\n", queue, it.Seq)
+	})
+	sched.Install("live", stream.ForwardAll{})
+
+	sel, _ := stream.NewDirectSelection(100)
+	sched.Punctuate(stream.Punctuation{Op: stream.OpInstall, Queue: "steered", Policy: sel})
+
+	for i := int64(1); i <= 3; i++ {
+		rec, _ := stream.NewRecord(schema, i)
+		sched.Ingest(stream.Item{Seq: i, Time: time.Unix(i, 0), Payload: rec})
+	}
+	sched.Punctuate(stream.Punctuation{Op: stream.OpSelect, Queue: "steered", Seqs: []int64{2}})
+	// Output:
+	// live ← item 1
+	// live ← item 2
+	// live ← item 3
+	// steered ← item 2
+}

@@ -1,0 +1,306 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// FBS ("fairflow binary stream") is a small self-describing binary format:
+// every stream begins with its schema, then carries length-delimited record
+// frames. A reader needs no compiled-in knowledge of the layout — the
+// data-schema gauge's "self-describing binary" tier made concrete.
+//
+// Wire layout (all integers little-endian):
+//
+//	stream  := magic(4) version(u8) schema record*
+//	schema  := nameLen(u16) name fieldCount(u16) field*
+//	field   := type(u8) nameLen(u16) name
+//	record  := marker(u8=0x52) seq(i64) unixNano(i64) value*
+//	value   := depends on field type; strings/bytes are u32-length-prefixed
+var fbsMagic = [4]byte{'F', 'B', 'S', '1'}
+
+const fbsVersion = 1
+const recordMarker = 0x52
+
+// maxBlob bounds string/bytes fields (16 MiB) to fail fast on corrupt
+// streams rather than allocating absurd buffers.
+const maxBlob = 16 << 20
+
+// Encoder writes an FBS stream.
+type Encoder struct {
+	w      *bufio.Writer
+	schema *Schema
+	wrote  bool
+}
+
+// NewEncoder creates an encoder bound to one schema per stream.
+func NewEncoder(w io.Writer, schema *Schema) (*Encoder, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{w: bufio.NewWriter(w), schema: schema}, nil
+}
+
+func (e *Encoder) writeHeader() error {
+	if _, err := e.w.Write(fbsMagic[:]); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte(fbsVersion); err != nil {
+		return err
+	}
+	if err := writeString16(e.w, e.schema.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(e.w, binary.LittleEndian, uint16(len(e.schema.Fields))); err != nil {
+		return err
+	}
+	for _, f := range e.schema.Fields {
+		if err := e.w.WriteByte(byte(f.Type)); err != nil {
+			return err
+		}
+		if err := writeString16(e.w, f.Name); err != nil {
+			return err
+		}
+	}
+	e.wrote = true
+	return nil
+}
+
+// Encode appends one item to the stream (writing the header first if
+// needed). The item's record must match the encoder's schema.
+func (e *Encoder) Encode(it Item) error {
+	if it.Payload.Schema == nil || !it.Payload.Schema.Equal(*e.schema) {
+		return fmt.Errorf("stream: item schema does not match encoder schema")
+	}
+	if err := it.Payload.Validate(); err != nil {
+		return err
+	}
+	if !e.wrote {
+		if err := e.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if err := e.w.WriteByte(recordMarker); err != nil {
+		return err
+	}
+	if err := binary.Write(e.w, binary.LittleEndian, it.Seq); err != nil {
+		return err
+	}
+	if err := binary.Write(e.w, binary.LittleEndian, it.Time.UnixNano()); err != nil {
+		return err
+	}
+	for i, f := range e.schema.Fields {
+		switch f.Type {
+		case TInt64:
+			if err := binary.Write(e.w, binary.LittleEndian, it.Payload.Values[i].(int64)); err != nil {
+				return err
+			}
+		case TFloat64:
+			bits := math.Float64bits(it.Payload.Values[i].(float64))
+			if err := binary.Write(e.w, binary.LittleEndian, bits); err != nil {
+				return err
+			}
+		case TString:
+			if err := writeBlob32(e.w, []byte(it.Payload.Values[i].(string))); err != nil {
+				return err
+			}
+		case TBytes:
+			if err := writeBlob32(e.w, it.Payload.Values[i].([]byte)); err != nil {
+				return err
+			}
+		case TBool:
+			b := byte(0)
+			if it.Payload.Values[i].(bool) {
+				b = 1
+			}
+			if err := e.w.WriteByte(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer. Transports call
+// this per message; file writers once at the end.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// Decoder reads an FBS stream, discovering the schema from the wire.
+type Decoder struct {
+	r      *bufio.Reader
+	schema *Schema
+}
+
+// NewDecoder wraps a reader; the schema is parsed lazily on first use.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Schema returns the stream's schema, reading the header if necessary.
+func (d *Decoder) Schema() (*Schema, error) {
+	if d.schema != nil {
+		return d.schema, nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != fbsMagic {
+		return nil, fmt.Errorf("stream: bad magic %q", magic)
+	}
+	version, err := d.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != fbsVersion {
+		return nil, fmt.Errorf("stream: unsupported FBS version %d", version)
+	}
+	name, err := readString16(d.r)
+	if err != nil {
+		return nil, err
+	}
+	var count uint16
+	if err := binary.Read(d.r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	s := &Schema{Name: name}
+	for i := 0; i < int(count); i++ {
+		tb, err := d.r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := readString16(d.r)
+		if err != nil {
+			return nil, err
+		}
+		s.Fields = append(s.Fields, Field{Name: fname, Type: FieldType(tb)})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	d.schema = s
+	return s, nil
+}
+
+// Decode reads the next item. io.EOF marks a clean end of stream.
+func (d *Decoder) Decode() (Item, error) {
+	s, err := d.Schema()
+	if err != nil {
+		return Item{}, err
+	}
+	marker, err := d.r.ReadByte()
+	if err != nil {
+		return Item{}, err // io.EOF passes through
+	}
+	if marker != recordMarker {
+		return Item{}, fmt.Errorf("stream: bad record marker 0x%02x", marker)
+	}
+	var it Item
+	if err := binary.Read(d.r, binary.LittleEndian, &it.Seq); err != nil {
+		return Item{}, corrupt(err)
+	}
+	var nanos int64
+	if err := binary.Read(d.r, binary.LittleEndian, &nanos); err != nil {
+		return Item{}, corrupt(err)
+	}
+	it.Time = time.Unix(0, nanos).UTC()
+	values := make([]any, len(s.Fields))
+	for i, f := range s.Fields {
+		switch f.Type {
+		case TInt64:
+			var v int64
+			if err := binary.Read(d.r, binary.LittleEndian, &v); err != nil {
+				return Item{}, corrupt(err)
+			}
+			values[i] = v
+		case TFloat64:
+			var bits uint64
+			if err := binary.Read(d.r, binary.LittleEndian, &bits); err != nil {
+				return Item{}, corrupt(err)
+			}
+			values[i] = math.Float64frombits(bits)
+		case TString:
+			b, err := readBlob32(d.r)
+			if err != nil {
+				return Item{}, corrupt(err)
+			}
+			values[i] = string(b)
+		case TBytes:
+			b, err := readBlob32(d.r)
+			if err != nil {
+				return Item{}, corrupt(err)
+			}
+			values[i] = b
+		case TBool:
+			b, err := d.r.ReadByte()
+			if err != nil {
+				return Item{}, corrupt(err)
+			}
+			values[i] = b != 0
+		}
+	}
+	it.Payload = Record{Schema: s, Values: values}
+	return it, nil
+}
+
+// corrupt converts a mid-record EOF into ErrUnexpectedEOF so callers can
+// distinguish truncation from clean stream end.
+func corrupt(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func writeString16(w *bufio.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("stream: name too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString16(r *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeBlob32(w *bufio.Writer, b []byte) error {
+	if len(b) > maxBlob {
+		return fmt.Errorf("stream: blob too large (%d bytes)", len(b))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBlob32(r *bufio.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxBlob {
+		return nil, fmt.Errorf("stream: blob length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy is a data-scheduling policy: it decides, per arriving item, what a
+// virtual queue forwards downstream. Policies may buffer (windows, selection
+// queues); Flush drains whatever a policy is still holding.
+//
+// Policies are installed and swapped at runtime via control punctuation —
+// "including policies not known at code generation or compile time"
+// (Section V-C). The communication code around them never changes; only the
+// policy does.
+type Policy interface {
+	// Admit processes one arriving item and returns the items to forward
+	// now (possibly none, possibly buffered earlier items).
+	Admit(it Item) []Item
+	// Control lets a policy react to punctuation addressed to it (e.g. the
+	// direct-selection policy's "select seq N"). Unknown commands are
+	// ignored and return nil.
+	Control(cmd Punctuation) []Item
+	// Flush returns any buffered items and resets the policy.
+	Flush() []Item
+	// Name identifies the policy instance.
+	Name() string
+}
+
+// ForwardAll is the simplest policy: forward every item immediately.
+type ForwardAll struct{}
+
+// Admit implements Policy.
+func (ForwardAll) Admit(it Item) []Item { return []Item{it} }
+
+// Control implements Policy.
+func (ForwardAll) Control(Punctuation) []Item { return nil }
+
+// Flush implements Policy.
+func (ForwardAll) Flush() []Item { return nil }
+
+// Name implements Policy.
+func (ForwardAll) Name() string { return "forward-all" }
+
+// SlidingWindowCount buffers items and, every Stride arrivals once Size
+// items are buffered, forwards a copy of the current window (oldest first).
+// With Stride == Size it behaves as a tumbling window.
+type SlidingWindowCount struct {
+	Size   int
+	Stride int
+
+	buf     []Item
+	arrived int
+}
+
+// NewSlidingWindowCount validates and builds a count-based window policy.
+func NewSlidingWindowCount(size, stride int) (*SlidingWindowCount, error) {
+	if size < 1 || stride < 1 {
+		return nil, fmt.Errorf("stream: window size and stride must be ≥1 (got %d, %d)", size, stride)
+	}
+	return &SlidingWindowCount{Size: size, Stride: stride}, nil
+}
+
+// Admit implements Policy.
+func (p *SlidingWindowCount) Admit(it Item) []Item {
+	p.buf = append(p.buf, it)
+	if len(p.buf) > p.Size {
+		p.buf = p.buf[len(p.buf)-p.Size:]
+	}
+	p.arrived++
+	if len(p.buf) == p.Size && p.arrived%p.Stride == 0 {
+		return append([]Item(nil), p.buf...)
+	}
+	return nil
+}
+
+// Control implements Policy.
+func (p *SlidingWindowCount) Control(Punctuation) []Item { return nil }
+
+// Flush implements Policy.
+func (p *SlidingWindowCount) Flush() []Item {
+	out := p.buf
+	p.buf = nil
+	p.arrived = 0
+	return out
+}
+
+// Name implements Policy.
+func (p *SlidingWindowCount) Name() string {
+	return fmt.Sprintf("sliding-window-count(%d/%d)", p.Size, p.Stride)
+}
+
+// SlidingWindowTime forwards, on each arrival, the set of buffered items
+// whose timestamps fall within Span of the newest item — a time-based
+// sliding window.
+type SlidingWindowTime struct {
+	Span time.Duration
+
+	buf []Item
+}
+
+// NewSlidingWindowTime validates and builds a time-based window policy.
+func NewSlidingWindowTime(span time.Duration) (*SlidingWindowTime, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("stream: window span must be positive")
+	}
+	return &SlidingWindowTime{Span: span}, nil
+}
+
+// Admit implements Policy.
+func (p *SlidingWindowTime) Admit(it Item) []Item {
+	p.buf = append(p.buf, it)
+	cutoff := it.Time.Add(-p.Span)
+	keep := p.buf[:0]
+	for _, b := range p.buf {
+		if !b.Time.Before(cutoff) {
+			keep = append(keep, b)
+		}
+	}
+	p.buf = keep
+	return append([]Item(nil), p.buf...)
+}
+
+// Control implements Policy.
+func (p *SlidingWindowTime) Control(Punctuation) []Item { return nil }
+
+// Flush implements Policy.
+func (p *SlidingWindowTime) Flush() []Item {
+	out := p.buf
+	p.buf = nil
+	return out
+}
+
+// Name implements Policy.
+func (p *SlidingWindowTime) Name() string {
+	return fmt.Sprintf("sliding-window-time(%s)", p.Span)
+}
+
+// DirectSelection queues arriving items and forwards nothing until a
+// control punctuation selects specific sequence numbers — the paper's
+// "direct selection of queued data items" installed from a remote steering
+// process. Selected items leave the queue; a Capacity bound evicts the
+// oldest unselected items.
+type DirectSelection struct {
+	Capacity int
+
+	queue []Item
+}
+
+// NewDirectSelection builds a selection policy with the given queue bound.
+func NewDirectSelection(capacity int) (*DirectSelection, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: selection capacity must be ≥1")
+	}
+	return &DirectSelection{Capacity: capacity}, nil
+}
+
+// Admit implements Policy: items are queued, never auto-forwarded.
+func (p *DirectSelection) Admit(it Item) []Item {
+	p.queue = append(p.queue, it)
+	if len(p.queue) > p.Capacity {
+		p.queue = p.queue[len(p.queue)-p.Capacity:]
+	}
+	return nil
+}
+
+// Control implements Policy: OpSelect punctuation with sequence numbers
+// releases the matching queued items, in queue order.
+func (p *DirectSelection) Control(cmd Punctuation) []Item {
+	if cmd.Op != OpSelect {
+		return nil
+	}
+	want := map[int64]bool{}
+	for _, s := range cmd.Seqs {
+		want[s] = true
+	}
+	var out []Item
+	keep := p.queue[:0]
+	for _, it := range p.queue {
+		if want[it.Seq] {
+			out = append(out, it)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	p.queue = keep
+	return out
+}
+
+// Flush implements Policy.
+func (p *DirectSelection) Flush() []Item {
+	out := p.queue
+	p.queue = nil
+	return out
+}
+
+// Name implements Policy.
+func (p *DirectSelection) Name() string {
+	return fmt.Sprintf("direct-selection(cap=%d)", p.Capacity)
+}
+
+// SampleEveryN forwards every Nth item — a decimation policy for monitoring
+// consumers.
+type SampleEveryN struct {
+	N int
+
+	count int
+}
+
+// NewSampleEveryN builds a decimation policy.
+func NewSampleEveryN(n int) (*SampleEveryN, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stream: sample interval must be ≥1")
+	}
+	return &SampleEveryN{N: n}, nil
+}
+
+// Admit implements Policy.
+func (p *SampleEveryN) Admit(it Item) []Item {
+	p.count++
+	if p.count%p.N == 0 {
+		return []Item{it}
+	}
+	return nil
+}
+
+// Control implements Policy.
+func (p *SampleEveryN) Control(Punctuation) []Item { return nil }
+
+// Flush implements Policy.
+func (p *SampleEveryN) Flush() []Item {
+	p.count = 0
+	return nil
+}
+
+// Name implements Policy.
+func (p *SampleEveryN) Name() string { return fmt.Sprintf("sample-every(%d)", p.N) }

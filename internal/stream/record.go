@@ -1,0 +1,167 @@
+// Package stream implements the publish/subscribe data-streaming substrate
+// of the paper's synthetic-workflow experiment (Section V-C): a
+// self-describing binary marshalling format (FBS, in the lineage of
+// FFS/EVPath the authors cite), a data-scheduler component with virtual data
+// queues, runtime-installable selection policies driven by control-channel
+// "data punctuation", and TCP/in-process transports connecting instrument
+// sources to downstream consumers.
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// FieldType enumerates FBS field types.
+type FieldType uint8
+
+// Wire-stable field type codes.
+const (
+	TInt64 FieldType = iota + 1
+	TFloat64
+	TString
+	TBytes
+	TBool
+)
+
+func (t FieldType) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TFloat64:
+		return "float64"
+	case TString:
+		return "string"
+	case TBytes:
+		return "bytes"
+	case TBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("FieldType(%d)", uint8(t))
+	}
+}
+
+// Field is one named, typed element of a schema.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema describes a record layout. Schemas travel with the stream (the
+// "self-describing" property), so a consumer generated without a priori
+// knowledge of the format can still unmarshal it.
+type Schema struct {
+	Name   string
+	Fields []Field
+}
+
+// Validate checks structural invariants.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("stream: schema needs a name")
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("stream: schema %q has no fields", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("stream: schema %q has unnamed field", s.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("stream: schema %q duplicates field %q", s.Name, f.Name)
+		}
+		seen[f.Name] = true
+		switch f.Type {
+		case TInt64, TFloat64, TString, TBytes, TBool:
+		default:
+			return fmt.Errorf("stream: field %q has invalid type %d", f.Name, f.Type)
+		}
+	}
+	return nil
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (s Schema) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas are structurally identical.
+func (s Schema) Equal(o Schema) bool {
+	if s.Name != o.Name || len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Record is one typed value tuple conforming to a schema. Values are held
+// as any with concrete types int64 / float64 / string / []byte / bool.
+type Record struct {
+	Schema *Schema
+	Values []any
+}
+
+// NewRecord builds and validates a record against a schema.
+func NewRecord(s *Schema, values ...any) (Record, error) {
+	r := Record{Schema: s, Values: values}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Validate checks the value tuple against the schema.
+func (r Record) Validate() error {
+	if r.Schema == nil {
+		return fmt.Errorf("stream: record without schema")
+	}
+	if len(r.Values) != len(r.Schema.Fields) {
+		return fmt.Errorf("stream: record has %d values for %d fields", len(r.Values), len(r.Schema.Fields))
+	}
+	for i, f := range r.Schema.Fields {
+		ok := false
+		switch f.Type {
+		case TInt64:
+			_, ok = r.Values[i].(int64)
+		case TFloat64:
+			_, ok = r.Values[i].(float64)
+		case TString:
+			_, ok = r.Values[i].(string)
+		case TBytes:
+			_, ok = r.Values[i].([]byte)
+		case TBool:
+			_, ok = r.Values[i].(bool)
+		}
+		if !ok {
+			return fmt.Errorf("stream: field %q wants %s, got %T", f.Name, f.Type, r.Values[i])
+		}
+	}
+	return nil
+}
+
+// Get returns the value of the named field.
+func (r Record) Get(name string) (any, error) {
+	i := r.Schema.FieldIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("stream: no field %q in schema %q", name, r.Schema.Name)
+	}
+	return r.Values[i], nil
+}
+
+// Item is one element flowing through the workflow graph: a sequenced,
+// timestamped record.
+type Item struct {
+	Seq     int64
+	Time    time.Time
+	Payload Record
+}

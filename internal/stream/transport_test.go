@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitSubscribers(t *testing.T, srv *Server, queue string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Subscribers(queue) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d subscribers on %q", srv.Subscribers(queue), queue)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func startServer(t *testing.T) (*Server, string, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler()
+	srv, err := NewServer(sched, intSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String(), sched
+}
+
+func collectTCP(t *testing.T, addr, queue string, into *[]int64, mu *sync.Mutex, ready chan<- struct{}) {
+	t.Helper()
+	go func() {
+		close(ready)
+		SubscribeTCP(addr, queue, func(it Item) {
+			mu.Lock()
+			*into = append(*into, it.Seq)
+			mu.Unlock()
+		})
+	}()
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func TestTCPEndToEndForwardAll(t *testing.T) {
+	srv, addr, sched := startServer(t)
+	sched.Install("all", ForwardAll{})
+
+	var mu sync.Mutex
+	var got []int64
+	ready := make(chan struct{})
+	collectTCP(t, addr, "all", &got, &mu, ready)
+	<-ready
+	waitSubscribers(t, srv, "all", 1)
+
+	prod, err := DialProducer(addr, intSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := int64(1); i <= 10; i++ {
+		if err := prod.Send(intItem(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 10
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, seq := range got {
+		if seq != int64(i+1) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestControlChannelInstallsPolicyRemotely(t *testing.T) {
+	srv, addr, _ := startServer(t)
+
+	ctl, err := DialControl(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	// Remote steering: install a selection queue that did not exist at
+	// deployment time.
+	err = ctl.Send(WirePunctuation{
+		Op: "install", Queue: "steered",
+		Policy: &WirePolicy{Kind: "direct-selection", Capacity: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []int64
+	ready := make(chan struct{})
+	collectTCP(t, addr, "steered", &got, &mu, ready)
+	<-ready
+	waitSubscribers(t, srv, "steered", 1)
+
+	prod, err := DialProducer(addr, intSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := int64(1); i <= 5; i++ {
+		if err := prod.Send(intItem(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing flows until selected.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	if len(got) != 0 {
+		mu.Unlock()
+		t.Fatalf("selection leaked items: %v", got)
+	}
+	mu.Unlock()
+
+	if err := ctl.Send(WirePunctuation{Op: "select", Queue: "steered", Seqs: []int64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1 && got[0] == 3
+	})
+}
+
+func TestControlChannelRejectsBadCommands(t *testing.T) {
+	_, addr, _ := startServer(t)
+	ctl, err := DialControl(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.Send(WirePunctuation{Op: "flush", Queue: "ghost"}); err == nil {
+		t.Fatal("unknown queue accepted")
+	}
+	if err := ctl.Send(WirePunctuation{Op: "install", Queue: "q",
+		Policy: &WirePolicy{Kind: "anti-gravity"}}); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	// The connection stays usable after an error.
+	if err := ctl.Send(WirePunctuation{Op: "install", Queue: "q",
+		Policy: &WirePolicy{Kind: "forward-all"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWirePolicyBuildAllKinds(t *testing.T) {
+	specs := []WirePolicy{
+		{Kind: "forward-all"},
+		{Kind: "window-count", Size: 4, Stride: 2},
+		{Kind: "window-time", SpanMS: 100},
+		{Kind: "direct-selection", Capacity: 8},
+		{Kind: "sample", N: 3},
+	}
+	for _, spec := range specs {
+		p, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s: empty name", spec.Kind)
+		}
+	}
+	if _, err := (WirePolicy{Kind: "window-count"}).Build(); err == nil {
+		t.Fatal("invalid window params accepted")
+	}
+}
+
+func TestMultipleConsumersDifferentQueues(t *testing.T) {
+	srv, addr, sched := startServer(t)
+	sched.Install("all", ForwardAll{})
+	samp, _ := NewSampleEveryN(2)
+	sched.Install("sampled", samp)
+
+	var mu sync.Mutex
+	var allGot, sampledGot []int64
+	r1, r2 := make(chan struct{}), make(chan struct{})
+	collectTCP(t, addr, "all", &allGot, &mu, r1)
+	collectTCP(t, addr, "sampled", &sampledGot, &mu, r2)
+	<-r1
+	<-r2
+	waitSubscribers(t, srv, "", 2)
+
+	prod, err := DialProducer(addr, intSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := int64(1); i <= 6; i++ {
+		prod.Send(intItem(t, i))
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(allGot) == 6 && len(sampledGot) == 3
+	})
+}

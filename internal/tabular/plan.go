@@ -1,0 +1,140 @@
+package tabular
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// PasteTask is one paste invocation inside a plan: sources → output.
+type PasteTask struct {
+	Output  string   `json:"output"`
+	Sources []string `json:"sources"`
+	// Phase is 0-based: tasks in phase p depend only on outputs of phases
+	// < p (phase 0 reads original inputs).
+	Phase int `json:"phase"`
+}
+
+// PastePlan is a multi-phase paste: the paper's "two-phase paste, where a
+// series of sub-pastes were performed to reduce the number of files, then a
+// final paste was done to merge the pasted subsets". For very large inputs
+// the planner recurses, producing as many phases as the fan-in limit
+// requires.
+type PastePlan struct {
+	Tasks  []PasteTask `json:"tasks"`
+	Phases int         `json:"phases"`
+	Final  string      `json:"final"`
+}
+
+// TasksInPhase returns the tasks of one phase, in plan order.
+func (p PastePlan) TasksInPhase(phase int) []PasteTask {
+	var out []PasteTask
+	for _, t := range p.Tasks {
+		if t.Phase == phase {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// PlanPaste builds a paste plan over the input files with the given fan-in
+// limit (the maximum files merged by a single paste — the filesystem
+// bottleneck the paper's manual process works around by hand). The final
+// output is written to finalPath; intermediates go to workDir.
+func PlanPaste(inputs []string, finalPath, workDir string, fanIn int) (PastePlan, error) {
+	if len(inputs) == 0 {
+		return PastePlan{}, fmt.Errorf("tabular: no inputs to paste")
+	}
+	if fanIn < 2 {
+		return PastePlan{}, fmt.Errorf("tabular: fan-in must be ≥ 2, got %d", fanIn)
+	}
+	plan := PastePlan{Final: finalPath}
+	current := append([]string(nil), inputs...)
+	phase := 0
+	for len(current) > fanIn {
+		var next []string
+		for i := 0; i < len(current); i += fanIn {
+			end := i + fanIn
+			if end > len(current) {
+				end = len(current)
+			}
+			out := filepath.Join(workDir, fmt.Sprintf("phase%d_part%04d.tsv", phase, len(next)))
+			plan.Tasks = append(plan.Tasks, PasteTask{
+				Output: out, Sources: append([]string(nil), current[i:end]...), Phase: phase,
+			})
+			next = append(next, out)
+		}
+		current = next
+		phase++
+	}
+	plan.Tasks = append(plan.Tasks, PasteTask{Output: finalPath, Sources: current, Phase: phase})
+	plan.Phases = phase + 1
+	return plan, nil
+}
+
+// ExecOptions configures plan execution.
+type ExecOptions struct {
+	Options
+	// Parallelism bounds concurrent paste tasks within a phase (≥ 1).
+	// The paper's point: "careful planning is required to divide the pasting
+	// into parallelizable subjobs" — the executor is that planning, encoded.
+	Parallelism int
+	// KeepIntermediates leaves phase outputs on disk for inspection.
+	KeepIntermediates bool
+}
+
+// Execute runs the plan phase by phase; within a phase, tasks run on up to
+// Parallelism goroutines. It returns the row count of the final output.
+func (p PastePlan) Execute(opts ExecOptions) (int, error) {
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	var intermediates []string
+	for phase := 0; phase < p.Phases; phase++ {
+		tasks := p.TasksInPhase(phase)
+		sem := make(chan struct{}, par)
+		errCh := make(chan error, len(tasks))
+		var wg sync.WaitGroup
+		for _, task := range tasks {
+			task := task
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := PasteFiles(task.Output, opts.Options, task.Sources...); err != nil {
+					errCh <- fmt.Errorf("tabular: phase %d task %s: %w", task.Phase, task.Output, err)
+				}
+			}()
+			if task.Output != p.Final {
+				intermediates = append(intermediates, task.Output)
+			}
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+	}
+	if !opts.KeepIntermediates {
+		for _, path := range intermediates {
+			os.Remove(path)
+		}
+	}
+	return CountRows(p.Final)
+}
+
+// MaxConcurrentFiles returns the peak number of files a single task in the
+// plan touches simultaneously (sources + 1 output) — the quantity the fan-in
+// limit exists to bound.
+func (p PastePlan) MaxConcurrentFiles() int {
+	max := 0
+	for _, t := range p.Tasks {
+		if n := len(t.Sources) + 1; n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,92 @@
+package tabular
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SplitColumns is the inverse of Paste: it explodes a delimited matrix file
+// into one single-column file per input column, named by pattern (which
+// must contain a single %04d-style "*" placeholder replaced by the column
+// index). It returns the written file paths in column order.
+//
+// The GWAS workflow needs both directions: cohorts arrive column-wise and
+// are pasted for the scan, while downstream per-sample tools want the
+// columns back.
+func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, error) {
+	if !strings.Contains(pattern, "*") {
+		return nil, fmt.Errorf("tabular: split pattern %q needs a '*' placeholder", pattern)
+	}
+	src, err := os.Open(srcPath)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	delim := opts.delimiter()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var writers []*bufio.Writer
+	var files []*os.File
+	var paths []string
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+
+	row := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), delim)
+		if writers == nil {
+			for i := range fields {
+				name := strings.Replace(pattern, "*", fmt.Sprintf("%04d", i), 1)
+				path := filepath.Join(outDir, name)
+				f, err := os.Create(path)
+				if err != nil {
+					closeAll()
+					return nil, err
+				}
+				files = append(files, f)
+				writers = append(writers, bufio.NewWriter(f))
+				paths = append(paths, path)
+			}
+		}
+		if len(fields) != len(writers) {
+			closeAll()
+			return nil, fmt.Errorf("tabular: row %d has %d columns, expected %d", row, len(fields), len(writers))
+		}
+		for i, cell := range fields {
+			if _, err := writers[i].WriteString(cell); err != nil {
+				closeAll()
+				return nil, err
+			}
+			if err := writers[i].WriteByte('\n'); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		closeAll()
+		return nil, err
+	}
+	for i, w := range writers {
+		if err := w.Flush(); err != nil {
+			closeAll()
+			return nil, err
+		}
+		if err := files[i].Close(); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,118 @@
+package tabular
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitColumnsInvertsPaste(t *testing.T) {
+	dir := t.TempDir()
+	// Build 5 columns, paste them, split them back, compare.
+	const cols, rows = 5, 40
+	inputs := make([]string, cols)
+	for c := range inputs {
+		cells := make([]string, rows)
+		for r := range cells {
+			cells[r] = fmt.Sprintf("c%dr%d", c, r)
+		}
+		inputs[c] = filepath.Join(dir, fmt.Sprintf("in%d.txt", c))
+		if err := WriteColumn(inputs[c], cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matrix := filepath.Join(dir, "matrix.tsv")
+	if _, err := PasteFiles(matrix, Options{}, inputs...); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "split")
+	paths, err := SplitColumns(matrix, outDir, "col_*.txt", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != cols {
+		t.Fatalf("split produced %d files", len(paths))
+	}
+	for c, p := range paths {
+		got, err := ReadAll(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ReadAll(inputs[c], Options{})
+		if len(got) != len(want) {
+			t.Fatalf("column %d length %d vs %d", c, len(got), len(want))
+		}
+		for r := range got {
+			if got[r][0] != want[r][0] {
+				t.Fatalf("column %d row %d: %q vs %q", c, r, got[r][0], want[r][0])
+			}
+		}
+	}
+}
+
+func TestSplitColumnsValidation(t *testing.T) {
+	dir := t.TempDir()
+	matrix := writeFile(t, dir, "m.tsv", "a\tb\nc\td\n")
+	if _, err := SplitColumns(matrix, dir, "no-placeholder.txt", Options{}); err == nil {
+		t.Fatal("pattern without placeholder accepted")
+	}
+	ragged := writeFile(t, dir, "ragged.tsv", "a\tb\nc\n")
+	if _, err := SplitColumns(ragged, filepath.Join(dir, "o"), "c_*.txt", Options{}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := SplitColumns(filepath.Join(dir, "missing"), dir, "c_*.txt", Options{}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestSplitColumnsEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.tsv", "")
+	paths, err := SplitColumns(empty, filepath.Join(dir, "out"), "c_*.txt", Options{})
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("paths=%v err=%v", paths, err)
+	}
+}
+
+func TestPasteSplitRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	iter := 0
+	f := func(colsRaw, rowsRaw uint8) bool {
+		iter++
+		cols := int(colsRaw)%6 + 1
+		rows := int(rowsRaw)%20 + 1
+		sub := filepath.Join(dir, fmt.Sprintf("case%d", iter))
+		inputs := make([]string, cols)
+		for c := range inputs {
+			cells := make([]string, rows)
+			for r := range cells {
+				cells[r] = fmt.Sprintf("v%d_%d", c, r)
+			}
+			inputs[c] = filepath.Join(sub, fmt.Sprintf("i%d", c))
+			if err := WriteColumn(inputs[c], cells); err != nil {
+				return false
+			}
+		}
+		matrix := filepath.Join(sub, "m.tsv")
+		if _, err := PasteFiles(matrix, Options{}, inputs...); err != nil {
+			return false
+		}
+		paths, err := SplitColumns(matrix, filepath.Join(sub, "s"), "c_*.txt", Options{})
+		if err != nil || len(paths) != cols {
+			return false
+		}
+		for c := range paths {
+			a, err1 := os.ReadFile(paths[c])
+			b, err2 := os.ReadFile(inputs[c])
+			if err1 != nil || err2 != nil || string(a) != string(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package tabular is a streaming engine for delimited text tables: readers,
+// writers, and the column-wise paste operation at the centre of the paper's
+// GWAS data-wrangling scenario (Section V-A). Large genotype matrices arrive
+// as many per-sample column files; assembling the model input means pasting
+// thousands of columns side by side — the step the paper automates with a
+// Skel/Cheetah-generated two-phase plan.
+package tabular
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Options configures paste behaviour.
+type Options struct {
+	// Delimiter joins columns; defaults to tab (matching UNIX paste).
+	Delimiter string
+	// AllowRagged permits inputs with differing row counts; missing cells
+	// are emitted empty. When false (the default), ragged inputs are an
+	// error — silent misalignment is exactly the kind of bug the paper's
+	// under-engineered wrangling scripts suffer.
+	AllowRagged bool
+}
+
+func (o Options) delimiter() string {
+	if o.Delimiter == "" {
+		return "\t"
+	}
+	return o.Delimiter
+}
+
+// Paste writes the column-wise concatenation of the src readers to dst:
+// output line i is the join of line i of every source, in order. It returns
+// the number of rows written.
+func Paste(dst io.Writer, opts Options, srcs ...io.Reader) (int, error) {
+	if len(srcs) == 0 {
+		return 0, fmt.Errorf("tabular: paste needs at least one source")
+	}
+	delim := opts.delimiter()
+	scanners := make([]*bufio.Scanner, len(srcs))
+	for i, r := range srcs {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		scanners[i] = sc
+	}
+	w := bufio.NewWriter(dst)
+	rows := 0
+	for {
+		var sb strings.Builder
+		anyLive := false
+		allLive := true
+		for i, sc := range scanners {
+			if i > 0 {
+				sb.WriteString(delim)
+			}
+			if sc == nil {
+				allLive = false
+				continue
+			}
+			if sc.Scan() {
+				anyLive = true
+				sb.WriteString(sc.Text())
+			} else {
+				if err := sc.Err(); err != nil {
+					return rows, fmt.Errorf("tabular: reading source %d: %w", i, err)
+				}
+				scanners[i] = nil
+				allLive = false
+			}
+		}
+		if !anyLive {
+			break
+		}
+		if !allLive && !opts.AllowRagged {
+			return rows, fmt.Errorf("tabular: sources have differing row counts at row %d", rows)
+		}
+		sb.WriteByte('\n')
+		if _, err := w.WriteString(sb.String()); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	return rows, w.Flush()
+}
+
+// PasteFiles pastes the named source files into dstPath.
+func PasteFiles(dstPath string, opts Options, srcPaths ...string) (int, error) {
+	if len(srcPaths) == 0 {
+		return 0, fmt.Errorf("tabular: paste needs at least one source file")
+	}
+	readers := make([]io.Reader, 0, len(srcPaths))
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range srcPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	if err := os.MkdirAll(filepath.Dir(dstPath), 0o755); err != nil {
+		return 0, err
+	}
+	out, err := os.Create(dstPath)
+	if err != nil {
+		return 0, err
+	}
+	rows, perr := Paste(out, opts, readers...)
+	if cerr := out.Close(); perr == nil {
+		perr = cerr
+	}
+	return rows, perr
+}
+
+// CountRows counts newline-terminated rows in a file (a final unterminated
+// line counts as a row, matching bufio.Scanner semantics).
+func CountRows(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}
+
+// CountColumns returns the number of delimiter-separated fields on the first
+// row of a file (0 for an empty file).
+func CountColumns(path string, opts Options) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return 0, sc.Err()
+	}
+	return len(strings.Split(sc.Text(), opts.delimiter())), nil
+}
+
+// WriteColumn writes a single-column file with the given cell values.
+func WriteColumn(path string, cells []string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, c := range cells {
+		if _, err := w.WriteString(c); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAll reads a delimited file fully into rows of fields. Intended for
+// tests and small files; the paste path never materialises tables.
+func ReadAll(path string, opts Options) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rows [][]string
+	for sc.Scan() {
+		rows = append(rows, strings.Split(sc.Text(), opts.delimiter()))
+	}
+	return rows, sc.Err()
+}
