@@ -1,9 +1,11 @@
-// Command gwaspaste performs the two-phase column-wise paste of the GWAS
+// Command gwaspaste performs the multi-phase column-wise paste of the GWAS
 // workflow (paper Section V-A). It is the executable the Skel-generated
-// run_paste.sh scripts invoke.
+// run_paste.sh scripts invoke. The plan runs as a dependency DAG on a
+// global worker pool: each merge starts as soon as its own sources are
+// complete, with no barrier between phases.
 //
 //	gwaspaste -inputs 'dir/sample_*.txt' -output matrix.tsv \
-//	          -workdir work -fanin 64 -parallel 8 [-keep]
+//	          -workdir work -fanin 64 -parallel 8 [-keep] [-ragged] [-delim $'\t']
 package main
 
 import (
@@ -22,8 +24,10 @@ func main() {
 	output := flag.String("output", "", "final pasted matrix path")
 	workdir := flag.String("workdir", "paste_work", "directory for phase intermediates")
 	fanin := flag.Int("fanin", 64, "max files merged by a single paste")
-	parallel := flag.Int("parallel", 8, "concurrent sub-pastes per phase")
-	keep := flag.Bool("keep", false, "keep phase intermediates")
+	parallel := flag.Int("parallel", 8, "concurrent paste tasks across the whole plan")
+	keep := flag.Bool("keep", false, "keep phase intermediates (also on failure)")
+	delim := flag.String("delim", "\t", "output column delimiter")
+	ragged := flag.Bool("ragged", false, "permit inputs with differing row counts (missing cells empty)")
 	flag.Parse()
 
 	if *inputs == "" || *output == "" {
@@ -43,19 +47,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("gwaspaste: %d inputs, %d phases, %d tasks (max %d concurrent files per task)\n",
-		len(files), plan.Phases, len(plan.Tasks), plan.MaxConcurrentFiles())
+	fmt.Printf("gwaspaste: %d inputs, %d phases, %d tasks DAG-scheduled on %d workers (max %d concurrent files per task)\n",
+		len(files), plan.Phases, len(plan.Tasks), *parallel, plan.MaxConcurrentFiles())
 
+	opts := tabular.Options{Delimiter: *delim, AllowRagged: *ragged}
 	start := time.Now()
 	rows, err := plan.Execute(tabular.ExecOptions{
-		Options:           tabular.Options{},
+		Options:           opts,
 		Parallelism:       *parallel,
 		KeepIntermediates: *keep,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	cols, err := tabular.CountColumns(*output, tabular.Options{})
+	cols, err := tabular.CountColumns(*output, opts)
 	if err != nil {
 		fatal(err)
 	}

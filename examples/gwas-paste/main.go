@@ -37,7 +37,7 @@ func main() {
 	colDir := filepath.Join(work, "columns")
 	for s := 0; s < samples; s++ {
 		path := filepath.Join(colDir, fmt.Sprintf("sample_%04d.txt", s))
-		if err := tabular.WriteColumn(path, cohort.SampleColumn(s)); err != nil {
+		if err := tabular.WriteColumnBytes(path, cohort.SampleColumnBytes(s)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -59,7 +59,10 @@ func main() {
 	fmt.Printf("skel generated %d workflow artifacts (digest %.12s…)\n",
 		len(artifacts), manifest.Digest())
 
-	// 3. Execute the generated plan (what run_paste.sh would invoke).
+	// 3. Execute the generated plan (what run_paste.sh would invoke). The
+	//    executor runs the plan as a dependency DAG: a phase-1 merge starts
+	//    the moment its own sub-pastes finish, and the row count comes from
+	//    the final paste itself (no extra pass over the matrix).
 	inputs, _ := filepath.Glob(filepath.Join(colDir, "sample_*.txt"))
 	plan, err := tabular.PlanPaste(inputs, filepath.Join(work, "matrix.tsv"),
 		filepath.Join(work, "paste_work"), 16)
@@ -70,8 +73,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cols, _ := tabular.CountColumns(filepath.Join(work, "matrix.tsv"), tabular.Options{})
-	fmt.Printf("two-phase paste: %d phases, %d tasks → matrix %d×%d\n",
+	cols, err := tabular.CountColumns(filepath.Join(work, "matrix.tsv"), tabular.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-phase paste (DAG-scheduled): %d phases, %d tasks → matrix %d×%d\n",
 		plan.Phases, len(plan.Tasks), rows, cols)
 
 	// 4. Run the GWAS scan on the assembled data and verify the science.

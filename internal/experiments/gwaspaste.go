@@ -45,9 +45,10 @@ type GWASPasteResult struct {
 	// SinglePhaseSeconds pastes all files in one pass (fan-in ignored) —
 	// the "very slow if too many files are merged at once" regime.
 	SinglePhaseSeconds float64
-	// TwoPhaseSeconds runs the generated plan serially.
+	// TwoPhaseSeconds runs the generated plan serially (one worker).
 	TwoPhaseSeconds float64
-	// CampaignSeconds runs the generated plan with phase-parallel tasks.
+	// CampaignSeconds runs the generated plan DAG-parallel: tasks release
+	// the moment their own sources complete, no phase barrier.
 	CampaignSeconds float64
 	// Rows and Columns validate output shape.
 	Rows, Columns int
@@ -81,7 +82,7 @@ func RunGWASPaste(cfg GWASPasteConfig) (*GWASPasteResult, error) {
 	inputs := make([]string, cfg.Samples)
 	for s := 0; s < cfg.Samples; s++ {
 		inputs[s] = filepath.Join(inputDir, fmt.Sprintf("sample_%04d.txt", s))
-		if err := tabular.WriteColumn(inputs[s], cohort.SampleColumn(s)); err != nil {
+		if err := tabular.WriteColumnBytes(inputs[s], cohort.SampleColumnBytes(s)); err != nil {
 			return nil, err
 		}
 	}
@@ -130,7 +131,8 @@ func RunGWASPaste(cfg GWASPasteConfig) (*GWASPasteResult, error) {
 	}
 	res.TwoPhaseSeconds = time.Since(start).Seconds()
 
-	// Ablation 3: the same plan run as a parallel campaign.
+	// Ablation 3: the same plan run as a DAG-parallel campaign; the row
+	// count comes from the final paste task itself, not a re-scan.
 	plan2, err := tabular.PlanPaste(inputs, filepath.Join(cfg.WorkDir, "campaign.tsv"),
 		filepath.Join(cfg.WorkDir, "work-par"), cfg.FanIn)
 	if err != nil {

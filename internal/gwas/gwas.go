@@ -117,6 +117,19 @@ func (c *Cohort) SampleColumn(s int) []string {
 	return out
 }
 
+// SampleColumnBytes renders sample s's column file content in a single
+// buffer — the exact bytes tabular.WriteColumnBytes persists. Genotypes are
+// single digits, so the whole column is rendered with one allocation
+// instead of one string per SNP; this is the writer the paste kernel's
+// wiring uses.
+func (c *Cohort) SampleColumnBytes(s int) []byte {
+	out := make([]byte, 0, 2*len(c.Genotypes))
+	for v := range c.Genotypes {
+		out = append(out, '0'+byte(c.Genotypes[v][s]), '\n')
+	}
+	return out
+}
+
 // Association is one SNP's scan result.
 type Association struct {
 	SNP int

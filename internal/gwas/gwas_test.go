@@ -2,6 +2,7 @@ package gwas
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -66,6 +67,19 @@ func TestSampleColumnMatchesMatrix(t *testing.T) {
 	}
 	if col[7] != string(rune('0'+c.Genotypes[7][3])) {
 		t.Fatalf("cell mismatch: %q vs %d", col[7], c.Genotypes[7][3])
+	}
+}
+
+func TestSampleColumnBytesMatchesStrings(t *testing.T) {
+	c, _ := Generate(smallConfig())
+	got := c.SampleColumnBytes(3)
+	var want strings.Builder
+	for _, cell := range c.SampleColumn(3) {
+		want.WriteString(cell)
+		want.WriteByte('\n')
+	}
+	if string(got) != want.String() {
+		t.Fatal("SampleColumnBytes diverges from SampleColumn rendering")
 	}
 }
 

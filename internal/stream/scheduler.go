@@ -75,9 +75,13 @@ type virtualQueue struct {
 // runtime through Punctuate, so steering processes can reshape the workflow
 // without regeneration.
 type Scheduler struct {
-	mu        sync.Mutex
-	queues    map[string]*virtualQueue
-	order     []string
+	mu     sync.Mutex
+	queues map[string]*virtualQueue
+	order  []string
+	// consumers is copy-on-write: Subscribe replaces the slice with an
+	// extended copy, so readers may publish the header they loaded under mu
+	// to goroutine-local use without re-copying per Ingest — the hot path
+	// never allocates for consumer fan-out.
 	consumers []Consumer
 	// marks counts OpMark punctuations seen (group boundaries).
 	marks int64
@@ -89,11 +93,16 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{queues: map[string]*virtualQueue{}}
 }
 
-// Subscribe registers a consumer for all queues' forwarded items.
+// Subscribe registers a consumer for all queues' forwarded items. The
+// consumer list is copied here, at subscription time (rare), never on the
+// per-item ingest path (hot).
 func (s *Scheduler) Subscribe(c Consumer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.consumers = append(s.consumers, c)
+	next := make([]Consumer, len(s.consumers)+1)
+	copy(next, s.consumers)
+	next[len(s.consumers)] = c
+	s.consumers = next
 }
 
 // Install is shorthand for Punctuate(OpInstall).
@@ -101,14 +110,19 @@ func (s *Scheduler) Install(queue string, p Policy) error {
 	return s.Punctuate(Punctuation{Op: OpInstall, Queue: queue, Policy: p})
 }
 
-// Ingest feeds one item to every active virtual queue.
+// Ingest feeds one item to every active virtual queue. The common cases —
+// no queue forwards (a filtering policy absorbing the item) or exactly one
+// queue forwards — allocate nothing beyond what the policy itself returns.
 func (s *Scheduler) Ingest(it Item) {
-	s.mu.Lock()
 	type delivery struct {
 		queue string
 		items []Item
 	}
-	var deliveries []delivery
+	s.mu.Lock()
+	// First forwarding queue is kept inline; a spill slice is only
+	// allocated when two or more queues forward on the same item.
+	var first delivery
+	var spill []delivery
 	for _, name := range s.order {
 		q := s.queues[name]
 		if !q.active {
@@ -117,15 +131,27 @@ func (s *Scheduler) Ingest(it Item) {
 		q.admitted++
 		if out := q.policy.Admit(it); len(out) > 0 {
 			q.forwarded += int64(len(out))
-			deliveries = append(deliveries, delivery{name, out})
+			if first.items == nil {
+				first = delivery{name, out}
+			} else {
+				spill = append(spill, delivery{name, out})
+			}
 		}
 	}
-	consumers := append([]Consumer(nil), s.consumers...)
+	consumers := s.consumers // copy-on-write: safe to use after unlock
 	s.mu.Unlock()
 
+	if first.items == nil {
+		return
+	}
 	// Deliver outside the lock so consumers may call back into the
 	// scheduler (e.g. a steering consumer issuing punctuation).
-	for _, d := range deliveries {
+	for _, c := range consumers {
+		for _, it := range first.items {
+			c(first.queue, it)
+		}
+	}
+	for _, d := range spill {
 		for _, c := range consumers {
 			for _, it := range d.items {
 				c(d.queue, it)
@@ -191,7 +217,7 @@ func (s *Scheduler) Punctuate(cmd Punctuation) error {
 			return fmt.Errorf("stream: unknown punctuation op %q", cmd.Op)
 		}
 	}
-	consumers := append([]Consumer(nil), s.consumers...)
+	consumers := s.consumers // copy-on-write: safe to use after unlock
 	s.mu.Unlock()
 
 	for _, c := range consumers {

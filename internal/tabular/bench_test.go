@@ -1,0 +1,90 @@
+package tabular
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// BenchmarkPasteKernel measures the streaming core alone: 8 columns × 4096
+// rows pasted into a discarding writer. The -benchmem numbers are the
+// zero-allocation-per-row evidence.
+func BenchmarkPasteKernel(b *testing.B) {
+	const rows, nSrcs = 4096, 8
+	col := strings.Repeat("0.123456\n", rows)
+	b.ReportAllocs()
+	b.SetBytes(int64(nSrcs * len(col)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs := make([]io.Reader, nSrcs)
+		for j := range srcs {
+			srcs[j] = strings.NewReader(col)
+		}
+		if _, err := Paste(io.Discard, Options{}, srcs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// writeSkewedColumns builds the skewed workload: nFiles single-column
+// inputs with identical row counts but wildly different byte sizes. The
+// fan-in groups listed in heavyGroups get wide cells; the rest are tiny.
+// Heavy groups are spread over disjoint phase-1 subtrees, so under a phase
+// barrier the executor serialises "all heavy phase-0 pastes" before "all
+// heavy phase-1 merges", while the DAG executor pipelines a finished
+// group's merge against other groups' still-running pastes.
+func writeSkewedColumns(b *testing.B, dir string, nFiles, rows, fanIn, wide int, heavyGroups map[int]bool) []string {
+	b.Helper()
+	wideCell := strings.Repeat("G", wide)
+	inputs := make([]string, nFiles)
+	for i := range inputs {
+		cell := "0"
+		if heavyGroups[i/fanIn] {
+			cell = wideCell
+		}
+		cells := make([]string, rows)
+		for r := range cells {
+			cells[r] = cell
+		}
+		inputs[i] = filepath.Join(dir, fmt.Sprintf("col%03d.txt", i))
+		if err := WriteColumn(inputs[i], cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return inputs
+}
+
+// BenchmarkExecutorSkewed contrasts the DAG executor with the phase-barrier
+// baseline on a skewed-task-size plan: 64 files, fan-in 4 (3 phases), six
+// heavy fan-in groups spread across three phase-1 subtrees, and fewer
+// workers than heavy tasks. The "dag" sub-benchmark should beat "barrier"
+// at equal parallelism because a completed subtree's merge runs while other
+// subtrees are still pasting, instead of queueing behind the phase barrier.
+func BenchmarkExecutorSkewed(b *testing.B) {
+	const nFiles, rows, fanIn, wide = 64, 700, 4, 1500
+	// Groups 0,1 / 4,5 / 8,9 → heavy pairs in phase-1 subtrees 0, 1, 2.
+	heavy := map[int]bool{0: true, 1: true, 4: true, 5: true, 8: true, 9: true}
+	run := func(b *testing.B, exec func(PastePlan, ExecOptions) (int, error)) {
+		dir := b.TempDir()
+		inputs := writeSkewedColumns(b, dir, nFiles, rows, fanIn, wide, heavy)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan, err := PlanPaste(inputs,
+				filepath.Join(dir, "out.tsv"), filepath.Join(dir, "work"), fanIn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec(plan, ExecOptions{Parallelism: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("barrier", func(b *testing.B) {
+		run(b, func(p PastePlan, o ExecOptions) (int, error) { return executeBarrierParallel(p, o) })
+	})
+	b.Run("dag", func(b *testing.B) {
+		run(b, PastePlan.Execute)
+	})
+}

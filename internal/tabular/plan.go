@@ -1,6 +1,7 @@
 package tabular
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -76,54 +77,150 @@ func PlanPaste(inputs []string, finalPath, workDir string, fanIn int) (PastePlan
 // ExecOptions configures plan execution.
 type ExecOptions struct {
 	Options
-	// Parallelism bounds concurrent paste tasks within a phase (≥ 1).
+	// Parallelism bounds concurrent paste tasks across the whole plan (≥ 1).
 	// The paper's point: "careful planning is required to divide the pasting
 	// into parallelizable subjobs" — the executor is that planning, encoded.
 	Parallelism int
-	// KeepIntermediates leaves phase outputs on disk for inspection.
+	// KeepIntermediates leaves phase outputs on disk for inspection (on
+	// the failure path too).
 	KeepIntermediates bool
 }
 
-// Execute runs the plan phase by phase; within a phase, tasks run on up to
-// Parallelism goroutines. It returns the row count of the final output.
+// Intermediates returns the outputs of every non-final task, in plan order —
+// the files Execute is responsible for cleaning up. Derived from the plan
+// itself so cleanup never depends on how far execution got.
+func (p PastePlan) Intermediates() []string {
+	var out []string
+	for _, t := range p.Tasks {
+		if t.Output != p.Final {
+			out = append(out, t.Output)
+		}
+	}
+	return out
+}
+
+// Execute runs the plan as a dependency DAG on a global pool of Parallelism
+// workers: each task is released the moment the tasks producing *its own*
+// sources have completed, so a later-phase merge starts while unrelated
+// earlier-phase pastes are still running — no per-phase barrier. It returns
+// the row count of the final output, taken from the final task's own paste
+// (no extra counting pass over the largest file).
+//
+// On failure, every error is aggregated (errors.Join) — concurrent tasks
+// that fail independently are all reported — and intermediates are removed
+// unless KeepIntermediates is set. Tasks downstream of a failed task are
+// never started.
 func (p PastePlan) Execute(opts ExecOptions) (int, error) {
 	par := opts.Parallelism
 	if par < 1 {
 		par = 1
 	}
-	var intermediates []string
-	for phase := 0; phase < p.Phases; phase++ {
-		tasks := p.TasksInPhase(phase)
-		sem := make(chan struct{}, par)
-		errCh := make(chan error, len(tasks))
-		var wg sync.WaitGroup
-		for _, task := range tasks {
-			task := task
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				if _, err := PasteFiles(task.Output, opts.Options, task.Sources...); err != nil {
-					errCh <- fmt.Errorf("tabular: phase %d task %s: %w", task.Phase, task.Output, err)
-				}
-			}()
-			if task.Output != p.Final {
-				intermediates = append(intermediates, task.Output)
+	n := len(p.Tasks)
+	if n == 0 {
+		return 0, fmt.Errorf("tabular: empty paste plan")
+	}
+
+	// Dependency graph: remaining[i] counts task i's sources produced by
+	// other tasks in the plan; dependents[j] lists the tasks consuming task
+	// j's output.
+	producer := make(map[string]int, n)
+	for i, t := range p.Tasks {
+		producer[t.Output] = i
+	}
+	remaining := make([]int, n)
+	dependents := make([][]int, n)
+	for i, t := range p.Tasks {
+		for _, s := range t.Sources {
+			if j, ok := producer[s]; ok && j != i {
+				remaining[i]++
+				dependents[j] = append(dependents[j], i)
 			}
 		}
-		wg.Wait()
-		close(errCh)
-		if err := <-errCh; err != nil {
-			return 0, err
+	}
+
+	ready := make(chan int, n)
+	enqueued := 0
+	for i := range p.Tasks {
+		if remaining[i] == 0 {
+			ready <- i
+			enqueued++
 		}
 	}
+	if enqueued == 0 {
+		return 0, fmt.Errorf("tabular: paste plan has no runnable task (dependency cycle)")
+	}
+
+	var (
+		mu        sync.Mutex
+		errs      []error
+		finalRows int
+		finalSeen bool
+		completed int
+	)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				task := p.Tasks[i]
+				rows, err := PasteFiles(task.Output, opts.Options, task.Sources...)
+
+				mu.Lock()
+				completed++
+				if err != nil {
+					errs = append(errs, fmt.Errorf("tabular: phase %d task %s: %w", task.Phase, task.Output, err))
+				} else {
+					if task.Output == p.Final {
+						finalRows, finalSeen = rows, true
+					}
+					for _, j := range dependents[i] {
+						remaining[j]--
+						if remaining[j] == 0 {
+							ready <- j
+							enqueued++
+						}
+					}
+				}
+				// Nothing queued and nothing in flight ⇒ no task can ever
+				// become ready again (new work is only enqueued above, by a
+				// completing task): drain the workers. Dependents of failed
+				// tasks are simply never released.
+				if completed == enqueued {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(errs) == 0 && completed < n {
+		errs = append(errs, fmt.Errorf("tabular: paste plan stalled after %d of %d tasks (dependency cycle)", completed, n))
+	}
+	err := errors.Join(errs...)
 	if !opts.KeepIntermediates {
-		for _, path := range intermediates {
+		// Cleanup is derived from the plan, not from launch bookkeeping, so
+		// it covers the failure path (partial and skipped outputs included);
+		// removal of never-written files is a harmless ENOENT.
+		for _, path := range p.Intermediates() {
 			os.Remove(path)
 		}
+		if err != nil {
+			// A failed plan must not leave a partial (or stale) final file
+			// behind to be mistaken for a successful paste.
+			os.Remove(p.Final)
+		}
 	}
-	return CountRows(p.Final)
+	if err != nil {
+		return 0, err
+	}
+	if !finalSeen {
+		// Hand-built plan whose final file is produced outside the task
+		// list; fall back to counting.
+		return CountRows(p.Final)
+	}
+	return finalRows, nil
 }
 
 // MaxConcurrentFiles returns the peak number of files a single task in the

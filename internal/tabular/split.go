@@ -2,6 +2,7 @@ package tabular
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,7 +16,9 @@ import (
 //
 // The GWAS workflow needs both directions: cohorts arrive column-wise and
 // are pasted for the scan, while downstream per-sample tools want the
-// columns back.
+// columns back. Like Paste, it runs on the byte-level kernel: cells flow
+// from the pooled read buffer into per-column write buffers without being
+// materialised as strings.
 func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, error) {
 	if !strings.Contains(pattern, "*") {
 		return nil, fmt.Errorf("tabular: split pattern %q needs a '*' placeholder", pattern)
@@ -29,9 +32,9 @@ func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, erro
 		return nil, err
 	}
 
-	delim := opts.delimiter()
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	delim := []byte(opts.delimiter())
+	lr := lineReader{br: getReader(src)}
+	defer putReader(lr.br)
 
 	var writers []*bufio.Writer
 	var files []*os.File
@@ -43,10 +46,18 @@ func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, erro
 	}
 
 	row := 0
-	for sc.Scan() {
-		fields := strings.Split(sc.Text(), delim)
+	for {
+		line, ok, err := lr.next()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		cols := bytes.Count(line, delim) + 1
 		if writers == nil {
-			for i := range fields {
+			for i := 0; i < cols; i++ {
 				name := strings.Replace(pattern, "*", fmt.Sprintf("%04d", i), 1)
 				path := filepath.Join(outDir, name)
 				f, err := os.Create(path)
@@ -59,12 +70,17 @@ func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, erro
 				paths = append(paths, path)
 			}
 		}
-		if len(fields) != len(writers) {
+		if cols != len(writers) {
 			closeAll()
-			return nil, fmt.Errorf("tabular: row %d has %d columns, expected %d", row, len(fields), len(writers))
+			return nil, fmt.Errorf("tabular: row %d has %d columns, expected %d", row, cols, len(writers))
 		}
-		for i, cell := range fields {
-			if _, err := writers[i].WriteString(cell); err != nil {
+		rest := line
+		for i := 0; i < cols; i++ {
+			cell := rest
+			if k := bytes.Index(rest, delim); k >= 0 {
+				cell, rest = rest[:k], rest[k+len(delim):]
+			}
+			if _, err := writers[i].Write(cell); err != nil {
 				closeAll()
 				return nil, err
 			}
@@ -74,10 +90,6 @@ func SplitColumns(srcPath, outDir, pattern string, opts Options) ([]string, erro
 			}
 		}
 		row++
-	}
-	if err := sc.Err(); err != nil {
-		closeAll()
-		return nil, err
 	}
 	for i, w := range writers {
 		if err := w.Flush(); err != nil {

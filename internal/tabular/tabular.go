@@ -36,41 +36,55 @@ func (o Options) delimiter() string {
 // Paste writes the column-wise concatenation of the src readers to dst:
 // output line i is the join of line i of every source, in order. It returns
 // the number of rows written.
+//
+// The loop is the zero-allocation kernel: each source's line is copied as a
+// []byte slice straight from its pooled read buffer into the pooled output
+// buffer, with no per-row string materialisation.
 func Paste(dst io.Writer, opts Options, srcs ...io.Reader) (int, error) {
 	if len(srcs) == 0 {
 		return 0, fmt.Errorf("tabular: paste needs at least one source")
 	}
 	delim := opts.delimiter()
-	scanners := make([]*bufio.Scanner, len(srcs))
+	readers := make([]lineReader, len(srcs))
 	for i, r := range srcs {
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-		scanners[i] = sc
+		readers[i].br = getReader(r)
 	}
-	w := bufio.NewWriter(dst)
+	defer func() {
+		for i := range readers {
+			if readers[i].br != nil {
+				putReader(readers[i].br)
+				readers[i].br = nil
+			}
+		}
+	}()
+	w := getWriter(dst)
+	defer putWriter(w)
+	// lines[i] views into reader i's buffer and stays valid until that
+	// reader's next advance — i.e. for exactly one row, which is all the
+	// write-out below needs. Both slices are reused for every row.
+	lines := make([][]byte, len(srcs))
 	rows := 0
 	for {
-		var sb strings.Builder
 		anyLive := false
 		allLive := true
-		for i, sc := range scanners {
-			if i > 0 {
-				sb.WriteString(delim)
-			}
-			if sc == nil {
+		for i := range readers {
+			lines[i] = nil
+			if readers[i].br == nil {
 				allLive = false
 				continue
 			}
-			if sc.Scan() {
-				anyLive = true
-				sb.WriteString(sc.Text())
-			} else {
-				if err := sc.Err(); err != nil {
-					return rows, fmt.Errorf("tabular: reading source %d: %w", i, err)
-				}
-				scanners[i] = nil
-				allLive = false
+			line, ok, err := readers[i].next()
+			if err != nil {
+				return rows, fmt.Errorf("tabular: reading source %d: %w", i, err)
 			}
+			if !ok {
+				putReader(readers[i].br)
+				readers[i].br = nil
+				allLive = false
+				continue
+			}
+			anyLive = true
+			lines[i] = line
 		}
 		if !anyLive {
 			break
@@ -78,8 +92,17 @@ func Paste(dst io.Writer, opts Options, srcs ...io.Reader) (int, error) {
 		if !allLive && !opts.AllowRagged {
 			return rows, fmt.Errorf("tabular: sources have differing row counts at row %d", rows)
 		}
-		sb.WriteByte('\n')
-		if _, err := w.WriteString(sb.String()); err != nil {
+		for i, line := range lines {
+			if i > 0 {
+				if _, err := w.WriteString(delim); err != nil {
+					return rows, err
+				}
+			}
+			if _, err := w.Write(line); err != nil {
+				return rows, err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
 			return rows, err
 		}
 		rows++
@@ -122,20 +145,38 @@ func PasteFiles(dstPath string, opts Options, srcPaths ...string) (int, error) {
 }
 
 // CountRows counts newline-terminated rows in a file (a final unterminated
-// line counts as a row, matching bufio.Scanner semantics).
+// line counts as a row, matching bufio.Scanner semantics). It counts bytes
+// through a pooled buffer without materialising lines.
 func CountRows(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	br := getReader(f)
+	defer putReader(br)
 	n := 0
-	for sc.Scan() {
-		n++
+	lastNewline := true
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			lastNewline = chunk[len(chunk)-1] == '\n'
+			if lastNewline {
+				n++
+			}
+		}
+		switch err {
+		case nil, bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if !lastNewline {
+				n++ // final unterminated line
+			}
+			return n, nil
+		default:
+			return n, err
+		}
 	}
-	return n, sc.Err()
 }
 
 // CountColumns returns the number of delimiter-separated fields on the first
@@ -179,6 +220,16 @@ func WriteColumn(path string, cells []string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteColumnBytes writes a pre-rendered single-column file in one call —
+// the zero-copy companion to WriteColumn for callers (like the GWAS cohort
+// writer) that can render a whole column into one []byte.
+func WriteColumnBytes(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // ReadAll reads a delimited file fully into rows of fields. Intended for
