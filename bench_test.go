@@ -6,8 +6,12 @@
 package fairflow_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"fairflow/internal/cas"
+	"fairflow/internal/cheetah"
 	"fairflow/internal/ckpt"
 	"fairflow/internal/experiments"
 	"fairflow/internal/expt"
@@ -39,6 +43,64 @@ func BenchmarkGWASPasteWorkflow(b *testing.B) {
 	b.ReportMetric(float64(res.Interventions.ModelDriven), "model-interventions")
 }
 
+// BenchmarkGWASPasteWarmRerun contrasts a cold paste-plan execution (every
+// task pastes, outputs ingested into the content-addressed store) with a
+// warm re-run over unchanged inputs (every task hits the action cache, zero
+// pastes execute, the final matrix is materialized by hard link). The warm
+// path is the memoized-re-execution win: ≥5× faster than cold.
+func BenchmarkGWASPasteWarmRerun(b *testing.B) {
+	const files, rows, fanIn = 128, 200, 16
+	newCache := func(b *testing.B, dir string) *cas.ActionCache {
+		store, err := cas.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache, err := cas.OpenActionCache(dir+"/actions.json", store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cache
+	}
+	runPlan := func(b *testing.B, dir string, inputs []string, cache *cas.ActionCache, stats *tabular.ExecStats) {
+		plan, err := tabular.PlanPaste(inputs, dir+"/out.tsv", dir+"/work", fanIn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := tabular.ExecOptions{Parallelism: 4, Cache: cache, Stats: stats}
+		if _, err := plan.Execute(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		dir := b.TempDir()
+		inputs := makeColumns(b, dir, files, rows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			casDir := b.TempDir() // fresh store each iteration: stays cold
+			b.StartTimer()
+			runPlan(b, dir, inputs, newCache(b, casDir), nil)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		inputs := makeColumns(b, dir, files, rows)
+		cache := newCache(b, dir+"/cas")
+		runPlan(b, dir, inputs, cache, nil) // prime
+		var stats tabular.ExecStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats = tabular.ExecStats{}
+			runPlan(b, dir, inputs, cache, &stats)
+		}
+		if len(stats.Executed) != 0 {
+			b.Fatalf("warm re-run executed %d paste tasks, want 0", len(stats.Executed))
+		}
+		b.ReportMetric(float64(len(stats.Executed)), "executed-tasks")
+		b.ReportMetric(float64(len(stats.Cached)), "cached-tasks")
+	})
+}
+
 // BenchmarkPasteFanIn is the fan-in ablation: the same 128 files pasted
 // with different fan-in limits (sub-bench per limit).
 func BenchmarkPasteFanIn(b *testing.B) {
@@ -52,7 +114,7 @@ func BenchmarkPasteFanIn(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := plan.Execute(tabular.ExecOptions{Parallelism: 4}); err != nil {
+				if _, err := plan.Execute(context.Background(), tabular.ExecOptions{Parallelism: 4}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -190,6 +252,93 @@ func benchIRFConfig(seed int64) experiments.IRFLoopConfig {
 		Features: 200, Nodes: 10, WalltimeSeconds: 3600,
 		MedianRunSeconds: 120, Sigma: 1.45, Allocations: 100, Seed: seed,
 	}
+}
+
+// BenchmarkSavannaWarmResume contrasts a cold campaign execution with a
+// warm resume against a primed run memo: every (component digest, sweep
+// point, input digests) recipe hits the action cache, so the resume
+// executes zero runs. This is the campaign-level half of the memoized
+// re-execution story (the paste plan's warm re-run is the task-level half).
+func BenchmarkSavannaWarmResume(b *testing.B) {
+	const points = 32
+	buildCampaign := func() *cheetah.Manifest {
+		p, err := cheetah.IntRange("n", cheetah.Application, 1, points, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := cheetah.BuildManifest(cheetah.Campaign{
+			Name: "warm-resume", App: "work", Account: "ACC",
+			Groups: []cheetah.SweepGroup{{
+				Name: "g", Nodes: 1, WalltimeMinutes: 1,
+				Sweeps: []cheetah.Sweep{{Name: "s", Parameters: []cheetah.Parameter{p}}},
+			}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	newRegistry := func() *savanna.FuncRegistry {
+		reg := savanna.NewFuncRegistry("work")
+		reg.Register("work", func(params map[string]string) error {
+			// A small deterministic compute load per sweep point.
+			acc := uint64(0)
+			for i := 0; i < 200_000; i++ {
+				acc = acc*1664525 + 1013904223
+			}
+			if acc == 42 {
+				return fmt.Errorf("unreachable")
+			}
+			return nil
+		})
+		return reg
+	}
+	newMemo := func(dir string) *savanna.Memo {
+		store, err := cas.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache, err := cas.OpenActionCache(dir+"/actions.json", store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &savanna.Memo{Cache: cache, ComponentDigest: "sha256:bench-model"}
+	}
+	m := buildCampaign()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := &savanna.LocalEngine{Executor: newRegistry(), Workers: 4, Memo: newMemo(b.TempDir())}
+			b.StartTimer()
+			if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := &savanna.LocalEngine{Executor: newRegistry(), Workers: 4, Memo: newMemo(b.TempDir())}
+		if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil { // prime
+			b.Fatal(err)
+		}
+		var cached int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.RunAll(m.Campaign.Name, m.Runs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cached = 0
+			for _, r := range res {
+				if r.Cached {
+					cached++
+				}
+			}
+			if cached != points {
+				b.Fatalf("warm resume executed %d runs, want 0", points-cached)
+			}
+		}
+		b.ReportMetric(float64(cached), "cached-runs")
+	})
 }
 
 // BenchmarkIRFLoopSchedulers regenerates Figs. 6 and 7 at reduced scale and

@@ -13,6 +13,9 @@
 //	fairctl export -workflow wf.json -prov runs.jsonl -campaign <id> [-internal] [-o ro.json]
 //	                                  package a research object: the workflow plus
 //	                                  policy-filtered provenance and a debt summary
+//	fairctl cas stats  -dir <store>   object count and payload bytes of an artifact store
+//	fairctl cas verify -dir <store>   re-hash every stored object against its digest
+//	fairctl cas gc     -dir <store>   sweep objects unreferenced by the action cache
 package main
 
 import (
@@ -20,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"fairflow/internal/annot"
+	"fairflow/internal/cas"
 	"fairflow/internal/core"
 	"fairflow/internal/gauge"
 	"fairflow/internal/provenance"
@@ -67,9 +72,80 @@ func main() {
 			fatal(fmt.Errorf("export needs -workflow, -prov and -campaign"))
 		}
 		export(*wfFile, *provFile, *campaign, *includeInternal, *out)
+	case "cas":
+		if len(os.Args) < 3 {
+			casUsage()
+		}
+		verb := os.Args[2]
+		fs := flag.NewFlagSet("cas "+verb, flag.ExitOnError)
+		dir := fs.String("dir", "", "artifact store directory")
+		fs.Parse(os.Args[3:])
+		if *dir == "" {
+			fatal(fmt.Errorf("cas %s needs -dir", verb))
+		}
+		switch verb {
+		case "stats":
+			casStats(*dir)
+		case "verify":
+			casVerify(*dir)
+		case "gc":
+			casGC(*dir)
+		default:
+			casUsage()
+		}
 	default:
 		usage()
 	}
+}
+
+func openStore(dir string) *cas.Store {
+	store, err := cas.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return store
+}
+
+func casStats(dir string) {
+	store := openStore(dir)
+	st := store.Stats()
+	cache, err := cas.OpenActionCache(filepath.Join(dir, "actions.json"), store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("objects: %d\nbytes:   %d\nactions: %d\n", st.Objects, st.Bytes, cache.Len())
+}
+
+func casVerify(dir string) {
+	store := openStore(dir)
+	errs := store.VerifyAll()
+	if len(errs) == 0 {
+		fmt.Printf("verified %d object(s): all match their digests\n", store.Stats().Objects)
+		return
+	}
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "fairctl:", err)
+	}
+	fatal(fmt.Errorf("cas verify: %d corrupt object(s)", len(errs)))
+}
+
+func casGC(dir string) {
+	store := openStore(dir)
+	cache, err := cas.OpenActionCache(filepath.Join(dir, "actions.json"), store)
+	if err != nil {
+		fatal(err)
+	}
+	removed, freed, err := store.GC(cache.Live())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("removed %d object(s), freed %d byte(s); %d live\n",
+		removed, freed, store.Stats().Objects)
+}
+
+func casUsage() {
+	fmt.Fprintln(os.Stderr, "usage: fairctl cas <stats|verify|gc> -dir <store>")
+	os.Exit(2)
 }
 
 func export(wfFile, provFile, campaign string, includeInternal bool, out string) {
@@ -118,7 +194,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas> [flags]")
 	os.Exit(2)
 }
 

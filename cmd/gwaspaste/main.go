@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,7 +53,7 @@ func main() {
 
 	opts := tabular.Options{Delimiter: *delim, AllowRagged: *ragged}
 	start := time.Now()
-	rows, err := plan.Execute(tabular.ExecOptions{
+	rows, err := plan.Execute(context.Background(), tabular.ExecOptions{
 		Options:           opts,
 		Parallelism:       *parallel,
 		KeepIntermediates: *keep,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := plan.Execute(tabular.ExecOptions{Parallelism: 4})
+	rows, err := plan.Execute(context.Background(), tabular.ExecOptions{Parallelism: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,233 @@
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Recipe describes one deterministic operation: what kind of work, with
+// which parameters, over which inputs (in order). Its digest is the action
+// cache key — two executions with the same recipe must produce byte-identical
+// outputs, which is what lets a warm re-run skip them.
+type Recipe struct {
+	// Kind names the operation, versioned (e.g. "tabular/paste@v1") so a
+	// semantic change to the operation invalidates old cache entries.
+	Kind string
+	// Params are the operation's scalar knobs (delimiter, flags, …).
+	Params map[string]string
+	// Inputs are the content digests of the operation's inputs, in the
+	// order the operation consumes them.
+	Inputs []Digest
+}
+
+// Digest returns the canonical hash of the recipe. Parameters are folded in
+// sorted order; every field is length-prefixed so no two distinct recipes
+// can collide by concatenation.
+func (r Recipe) Digest() Digest {
+	h := sha256.New()
+	writeField := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		io.WriteString(h, s)
+	}
+	writeField(r.Kind)
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(h, "p%d:", len(keys))
+	for _, k := range keys {
+		writeField(k)
+		writeField(r.Params[k])
+	}
+	fmt.Fprintf(h, "i%d:", len(r.Inputs))
+	for _, in := range r.Inputs {
+		writeField(string(in))
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sumToDigest(sum)
+}
+
+// ActionResult records what a recipe produced: named output digests plus
+// scalar metadata the caller wants back on a cache hit (row counts, …).
+type ActionResult struct {
+	Outputs map[string]Digest `json:"outputs"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+// fileStat is the stat fingerprint used to memoize file hashing: if a path's
+// size and mtime are unchanged since its content was last hashed, the cached
+// digest is trusted (the classic build-cache heuristic; Rehash defeats it).
+type fileStat struct {
+	Size  int64  `json:"size"`
+	Mtime int64  `json:"mtime_ns"`
+	SHA   Digest `json:"sha256"`
+}
+
+// actionFile is the persisted form of the action cache.
+type actionFile struct {
+	Version int                     `json:"version"`
+	Actions map[string]ActionResult `json:"actions"` // recipe digest → result
+	Files   map[string]fileStat     `json:"files,omitempty"`
+}
+
+// ActionCacheVersion is the current actions.json schema version.
+const ActionCacheVersion = 1
+
+// ActionCache maps recipe digests to results, backed by a Store that holds
+// the output bytes. It persists to a JSON file with atomic writes and also
+// carries the file-stat digest memo so warm re-runs need not re-read
+// unchanged input files.
+type ActionCache struct {
+	store *Store
+	path  string
+
+	mu      sync.Mutex
+	actions map[Digest]ActionResult
+	files   map[string]fileStat
+	dirty   bool
+}
+
+// OpenActionCache loads (or initialises) the action cache at path, backed by
+// the given store.
+func OpenActionCache(path string, store *Store) (*ActionCache, error) {
+	c := &ActionCache{
+		store:   store,
+		path:    path,
+		actions: map[Digest]ActionResult{},
+		files:   map[string]fileStat{},
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var af actionFile
+	if err := json.Unmarshal(data, &af); err != nil {
+		return nil, fmt.Errorf("cas: parsing action cache: %w", err)
+	}
+	if af.Version != ActionCacheVersion {
+		return nil, fmt.Errorf("cas: unsupported action cache version %d", af.Version)
+	}
+	for k, v := range af.Actions {
+		c.actions[Digest(k)] = v
+	}
+	for k, v := range af.Files {
+		c.files[k] = v
+	}
+	return c, nil
+}
+
+// Store returns the backing object store.
+func (c *ActionCache) Store() *Store { return c.store }
+
+// Len reports the number of cached actions.
+func (c *ActionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.actions)
+}
+
+// Get looks a recipe up. A hit is only reported when every output object is
+// still present in the store — a GC'd or corrupted entry is a miss, so the
+// caller transparently re-executes.
+func (c *ActionCache) Get(recipe Digest) (ActionResult, bool) {
+	c.mu.Lock()
+	res, ok := c.actions[recipe]
+	c.mu.Unlock()
+	if !ok {
+		return ActionResult{}, false
+	}
+	for _, d := range res.Outputs {
+		if !c.store.Has(d) {
+			return ActionResult{}, false
+		}
+	}
+	return res, true
+}
+
+// Put records a recipe's result and persists the cache.
+func (c *ActionCache) Put(recipe Digest, res ActionResult) error {
+	c.mu.Lock()
+	c.actions[recipe] = res
+	c.dirty = true
+	c.mu.Unlock()
+	return c.Save()
+}
+
+// HashFileCached digests a file, trusting a stat-unchanged memo entry: an
+// unchanged (size, mtime) pair returns the recorded digest without reading
+// the file. New results are recorded in memory; call Save to persist them.
+func (c *ActionCache) HashFileCached(path string) (Digest, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	st, ok := c.files[path]
+	c.mu.Unlock()
+	if ok && st.Size == fi.Size() && st.Mtime == fi.ModTime().UnixNano() {
+		return st.SHA, nil
+	}
+	d, _, err := HashFile(path)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.files[path] = fileStat{Size: fi.Size(), Mtime: fi.ModTime().UnixNano(), SHA: d}
+	c.dirty = true
+	c.mu.Unlock()
+	return d, nil
+}
+
+// Save persists the cache atomically if it changed since the last save.
+func (c *ActionCache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	af := actionFile{
+		Version: ActionCacheVersion,
+		Actions: make(map[string]ActionResult, len(c.actions)),
+		Files:   make(map[string]fileStat, len(c.files)),
+	}
+	for k, v := range c.actions {
+		af.Actions[string(k)] = v
+	}
+	for k, v := range c.files {
+		af.Files[k] = v
+	}
+	data, err := json.MarshalIndent(af, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(c.path, data, 0o644); err != nil {
+		return err
+	}
+	c.dirty = false
+	return nil
+}
+
+// Live returns the set of output digests referenced by any cached action —
+// the ref-count roots a GC sweep keeps. Input digests are not roots: inputs
+// live outside the store (or are themselves some other action's outputs).
+func (c *ActionCache) Live() map[Digest]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := map[Digest]bool{}
+	for _, res := range c.actions {
+		for _, d := range res.Outputs {
+			live[d] = true
+		}
+	}
+	return live
+}

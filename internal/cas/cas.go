@@ -1,0 +1,323 @@
+// Package cas is a content-addressed artifact store with an action cache:
+// the persistence layer behind memoized re-execution. Artifacts are
+// identified by the SHA-256 of their bytes (the paper's persistent
+// identifiers for intermediate data, and the substrate that makes the gauge
+// ontology's input-digest/output-digest terms real); an action cache maps a
+// recipe digest — hash of (operation kind, parameters, ordered input
+// digests) — to the digests of the outputs that operation produced. A warm
+// re-run looks its recipe up, finds the outputs already in the store, and
+// skips the work entirely.
+//
+// On-disk layout under a store root:
+//
+//	objects/<aa>/<rest-of-hex>   — one file per object, named by digest
+//	index.json                   — object metadata (size per digest)
+//	actions.json                 — the action cache (when co-located)
+//
+// All metadata writes are atomic (temp file + rename), so a crash never
+// leaves a torn index behind.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Digest identifies an object: "sha256:<64 hex chars>".
+type Digest string
+
+// digestPrefix is the only supported algorithm tag.
+const digestPrefix = "sha256:"
+
+// Valid reports whether d is a well-formed sha256 digest.
+func (d Digest) Valid() bool {
+	if !strings.HasPrefix(string(d), digestPrefix) {
+		return false
+	}
+	hx := string(d[len(digestPrefix):])
+	if len(hx) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(hx)
+	return err == nil
+}
+
+// hexPart returns the hex portion of the digest.
+func (d Digest) hexPart() string { return strings.TrimPrefix(string(d), digestPrefix) }
+
+// Short returns a 12-character abbreviation for display.
+func (d Digest) Short() string {
+	hx := d.hexPart()
+	if len(hx) > 12 {
+		return hx[:12]
+	}
+	return hx
+}
+
+// sumToDigest converts a raw SHA-256 sum to a Digest.
+func sumToDigest(sum [sha256.Size]byte) Digest {
+	return Digest(digestPrefix + hex.EncodeToString(sum[:]))
+}
+
+// HashBytes digests a byte slice without storing it.
+func HashBytes(b []byte) Digest { return sumToDigest(sha256.Sum256(b)) }
+
+// HashReader digests a stream without storing it, returning the byte count.
+func HashReader(r io.Reader) (Digest, int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return "", n, err
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sumToDigest(sum), n, nil
+}
+
+// HashFile digests a file's content without storing it.
+func HashFile(path string) (Digest, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	return HashReader(f)
+}
+
+// Store is an on-disk content-addressed object store. It is safe for
+// concurrent use.
+type Store struct {
+	root string
+
+	mu  sync.Mutex
+	idx *Index
+}
+
+// Open opens (creating if necessary) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("cas: opening store: %w", err)
+	}
+	idx, err := loadIndex(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{root: dir, idx: idx}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// objectPath maps a digest to its object file.
+func (s *Store) objectPath(d Digest) string {
+	hx := d.hexPart()
+	return filepath.Join(s.root, "objects", hx[:2], hx[2:])
+}
+
+// Put streams r into the store, returning the content digest and size. The
+// object is written to a temp file while hashing and renamed into place, so
+// a concurrent reader never observes a partial object; storing bytes that
+// already exist is a cheap no-op.
+func (s *Store) Put(r io.Reader) (Digest, int64, error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "objects"), "put-*")
+	if err != nil {
+		return "", 0, err
+	}
+	tmpName := tmp.Name()
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return "", n, err
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	d := sumToDigest(sum)
+
+	dst := s.objectPath(d)
+	if _, statErr := os.Stat(dst); statErr == nil {
+		os.Remove(tmpName) // already stored; content-addressing dedups
+	} else {
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			os.Remove(tmpName)
+			return "", n, err
+		}
+		// Objects are immutable: read-only mode guards hard-linked
+		// materialized copies against accidental in-place truncation.
+		os.Chmod(tmpName, 0o444)
+		if err := os.Rename(tmpName, dst); err != nil {
+			os.Remove(tmpName)
+			return "", n, err
+		}
+	}
+
+	s.mu.Lock()
+	changed := s.idx.add(d, n)
+	var serr error
+	if changed {
+		serr = s.idx.save()
+	}
+	s.mu.Unlock()
+	return d, n, serr
+}
+
+// PutFile stores the named file's content.
+func (s *Store) PutFile(path string) (Digest, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	return s.Put(f)
+}
+
+// PutBytes stores a byte slice.
+func (s *Store) PutBytes(b []byte) (Digest, int64, error) {
+	return s.Put(strings.NewReader(string(b)))
+}
+
+// Has reports whether the object exists in the store.
+func (s *Store) Has(d Digest) bool {
+	if !d.Valid() {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(d))
+	return err == nil
+}
+
+// Get opens an object for reading.
+func (s *Store) Get(d Digest) (io.ReadCloser, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("cas: malformed digest %q", d)
+	}
+	f, err := os.Open(s.objectPath(d))
+	if err != nil {
+		return nil, fmt.Errorf("cas: object %s: %w", d.Short(), err)
+	}
+	return f, nil
+}
+
+// Materialize places the object's content at dst: a hard link when the
+// filesystem allows it (zero-copy, byte-identical by construction), a full
+// copy otherwise. An existing dst is replaced. A hard-linked dst shares the
+// store's inode — writers that later regenerate dst must remove it first
+// (never truncate in place), which is what the paste executor does; objects
+// are stored read-only to catch violations.
+func (s *Store) Materialize(d Digest, dst string) error {
+	src := s.objectPath(d)
+	if _, err := os.Stat(src); err != nil {
+		return fmt.Errorf("cas: materialize %s: %w", d.Short(), err)
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	os.Remove(dst)
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	// Cross-device or link-hostile filesystem: copy.
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	return out.Close()
+}
+
+// Verify re-hashes one object and checks it matches its digest.
+func (s *Store) Verify(d Digest) error {
+	got, _, err := HashFile(s.objectPath(d))
+	if err != nil {
+		return fmt.Errorf("cas: verify %s: %w", d.Short(), err)
+	}
+	if got != d {
+		return fmt.Errorf("cas: object %s is corrupt (content hashes to %s)", d.Short(), got.Short())
+	}
+	return nil
+}
+
+// VerifyAll re-hashes every indexed object, returning all corruption errors.
+func (s *Store) VerifyAll() []error {
+	var errs []error
+	for _, d := range s.Digests() {
+		if err := s.Verify(d); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// Digests lists every indexed object in sorted order.
+func (s *Store) Digests() []Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Digest, 0, len(s.idx.Objects))
+	for hx := range s.idx.Objects {
+		out = append(out, Digest(digestPrefix+hx))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats summarises the store.
+type Stats struct {
+	Objects int   `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats returns object count and total payload bytes.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Objects: len(s.idx.Objects)}
+	for _, o := range s.idx.Objects {
+		st.Bytes += o.Size
+	}
+	return st
+}
+
+// GC removes every object not referenced by the live set (the ref-counting
+// sweep: liveness flows from live manifests — action-cache entries — down to
+// objects). It returns the number of objects removed and the bytes freed.
+func (s *Store) GC(live map[Digest]bool) (removed int, freed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for hx, obj := range s.idx.Objects {
+		d := Digest(digestPrefix + hx)
+		if live[d] {
+			continue
+		}
+		if rmErr := os.Remove(s.objectPath(d)); rmErr != nil && !os.IsNotExist(rmErr) {
+			err = rmErr
+			continue
+		}
+		delete(s.idx.Objects, hx)
+		removed++
+		freed += obj.Size
+	}
+	if removed > 0 {
+		if serr := s.idx.save(); err == nil {
+			err = serr
+		}
+	}
+	return removed, freed, err
+}

@@ -1,0 +1,56 @@
+package cas
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzIndexDecode drives arbitrary bytes through the index decoder: it must
+// never panic, and any index it accepts must re-encode/decode to the same
+// object set (the round-trip property a store reopen depends on).
+func FuzzIndexDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"objects":{}}`))
+	f.Add([]byte(`{"version":1,"objects":{"` +
+		`aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa":{"size":12}}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"objects":{"nothex":{"size":1}}}`))
+	f.Add([]byte(`{"version":1,"objects":{"` +
+		`bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb":{"size":-5}}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := DecodeIndex(data)
+		if err != nil {
+			return
+		}
+		// Accepted indexes must satisfy the invariants the store relies on.
+		if idx.Version != IndexVersion {
+			t.Fatalf("accepted version %d", idx.Version)
+		}
+		for hx, obj := range idx.Objects {
+			if !Digest(digestPrefix + hx).Valid() {
+				t.Fatalf("accepted malformed digest key %q", hx)
+			}
+			if obj.Size < 0 {
+				t.Fatalf("accepted negative size %d", obj.Size)
+			}
+		}
+		// Round trip: encode and decode back to an equivalent index.
+		out, err := json.Marshal(idx)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		idx2, err := DecodeIndex(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(idx2.Objects) != len(idx.Objects) {
+			t.Fatalf("round trip changed object count: %d → %d", len(idx.Objects), len(idx2.Objects))
+		}
+		for hx, obj := range idx.Objects {
+			if idx2.Objects[hx] != obj {
+				t.Fatalf("round trip changed entry %q", hx)
+			}
+		}
+	})
+}

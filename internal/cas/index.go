@@ -1,0 +1,115 @@
+package cas
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// IndexVersion is the current index schema version.
+const IndexVersion = 1
+
+// ObjectInfo is one object's metadata.
+type ObjectInfo struct {
+	Size int64 `json:"size"`
+}
+
+// Index is the store's JSON metadata: hex digest → object info. The object
+// files themselves are the source of truth; the index makes stats and GC
+// sweeps cheap (no directory walk) and records sizes without re-stating.
+type Index struct {
+	Version int                   `json:"version"`
+	Objects map[string]ObjectInfo `json:"objects"`
+
+	path string
+}
+
+// DecodeIndex parses and validates index JSON. It is the decoder the
+// FuzzIndexDecode target exercises: arbitrary bytes must either yield a
+// structurally valid index or an error — never a panic or an index that
+// later corrupts the store.
+func DecodeIndex(data []byte) (*Index, error) {
+	var idx Index
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("cas: parsing index: %w", err)
+	}
+	if idx.Version != IndexVersion {
+		return nil, fmt.Errorf("cas: unsupported index version %d", idx.Version)
+	}
+	if idx.Objects == nil {
+		idx.Objects = map[string]ObjectInfo{}
+	}
+	for hx, obj := range idx.Objects {
+		if !Digest(digestPrefix + hx).Valid() {
+			return nil, fmt.Errorf("cas: index entry %q is not a sha256 hex digest", hx)
+		}
+		if obj.Size < 0 {
+			return nil, fmt.Errorf("cas: index entry %s has negative size %d", hx[:12], obj.Size)
+		}
+	}
+	return &idx, nil
+}
+
+// loadIndex reads the index file, returning an empty index when absent.
+func loadIndex(path string) (*Index, error) {
+	idx := &Index{Version: IndexVersion, Objects: map[string]ObjectInfo{}, path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return idx, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := DecodeIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	parsed.path = path
+	return parsed, nil
+}
+
+// add records an object, reporting whether the index changed.
+func (idx *Index) add(d Digest, size int64) bool {
+	hx := d.hexPart()
+	if _, ok := idx.Objects[hx]; ok {
+		return false
+	}
+	idx.Objects[hx] = ObjectInfo{Size: size}
+	return true
+}
+
+// save writes the index atomically (temp file + rename): a crash mid-write
+// leaves the previous index intact, never a torn one.
+func (idx *Index) save() error {
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(idx.path, data, 0o644)
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// and an atomic rename.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, mode)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+	}
+	return werr
+}

@@ -1,0 +1,126 @@
+package cheetah
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSetRunStatusNeverObservablyTorn hammers one status file with
+// concurrent writers while a reader polls it: because updates go through a
+// temp file and an atomic rename, every read must see a complete, valid
+// status — never an empty or partially-written one.
+func TestSetRunStatusNeverObservablyTorn(t *testing.T) {
+	m, err := BuildManifest(demoCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := m.Materialize(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runID := m.Runs[0].ID
+	path := filepath.Join(dir, runID, "status")
+
+	valid := map[RunStatus]bool{
+		RunPending: true, RunRunning: true, RunSucceeded: true, RunFailed: true,
+	}
+	statuses := []RunStatus{RunPending, RunRunning, RunSucceeded, RunFailed}
+
+	var writers sync.WaitGroup
+	writeErrs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				if err := SetRunStatus(dir, runID, statuses[(i+w)%len(statuses)]); err != nil {
+					writeErrs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("status file unreadable mid-update: %v", err)
+				return
+			}
+			if !valid[RunStatus(data)] {
+				t.Errorf("observed torn status %q", data)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	select {
+	case err := <-writeErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// No temp-file droppings may survive in the run directory.
+	entries, err := os.ReadDir(filepath.Join(dir, runID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestMaterializeWritesCompleteFiles re-reads every file a fresh campaign
+// directory contains and checks it parses/validates — the atomic-write path
+// must leave only complete JSON and status files, plus no temp droppings
+// anywhere in the tree.
+func TestMaterializeWritesCompleteFiles(t *testing.T) {
+	m, err := BuildManifest(demoCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := m.Materialize(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaignDir(dir); err != nil {
+		t.Fatalf("campaign.json does not round-trip: %v", err)
+	}
+	sum, err := Status(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ByStatus[RunPending] != len(m.Runs) {
+		t.Fatalf("pending = %d, want %d", sum.ByStatus[RunPending], len(m.Runs))
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

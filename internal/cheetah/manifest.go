@@ -1,6 +1,7 @@
 package cheetah
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,31 @@ import (
 	"path/filepath"
 	"sort"
 )
+
+// writeFileAtomic writes data via a temp file in the target's directory and
+// an atomic rename: a crash (or a concurrent reader) can never observe a
+// torn or partially-written campaign file — only the old content or the new.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, mode)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+	}
+	return werr
+}
 
 // Manifest is the interoperability layer between composition (Cheetah) and
 // execution (Savanna): "an abstract manifest of the campaign ... a JSON
@@ -87,15 +113,11 @@ func (m *Manifest) Materialize(root string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	f, err := os.Create(filepath.Join(dir, "campaign.json"))
-	if err != nil {
+	var manifest bytes.Buffer
+	if err := m.Write(&manifest); err != nil {
 		return "", err
 	}
-	if err := m.Write(f); err != nil {
-		f.Close()
-		return "", err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, "campaign.json"), manifest.Bytes(), 0o644); err != nil {
 		return "", err
 	}
 	for _, run := range m.Runs {
@@ -107,10 +129,10 @@ func (m *Manifest) Materialize(root string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if err := os.WriteFile(filepath.Join(runDir, "params.json"), params, 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(runDir, "params.json"), params, 0o644); err != nil {
 			return "", err
 		}
-		if err := os.WriteFile(filepath.Join(runDir, "status"), []byte(RunPending), 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(runDir, "status"), []byte(RunPending), 0o644); err != nil {
 			return "", err
 		}
 	}
@@ -128,13 +150,15 @@ func LoadCampaignDir(dir string) (*Manifest, error) {
 	return ReadManifest(f)
 }
 
-// SetRunStatus records a run's status in the directory schema.
+// SetRunStatus records a run's status in the directory schema. The write is
+// atomic: an execution engine crashing mid-update (or a status query racing
+// it) can never leave — or observe — a torn status file.
 func SetRunStatus(dir string, runID string, status RunStatus) error {
 	path := filepath.Join(dir, runID, "status")
 	if _, err := os.Stat(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("cheetah: unknown run %q: %w", runID, err)
 	}
-	return os.WriteFile(path, []byte(status), 0o644)
+	return writeFileAtomic(path, []byte(status), 0o644)
 }
 
 // StatusSummary aggregates run statuses — the "API to submit a campaign and

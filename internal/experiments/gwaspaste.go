@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -126,7 +127,7 @@ func RunGWASPaste(cfg GWASPasteConfig) (*GWASPasteResult, error) {
 		return nil, err
 	}
 	start = time.Now()
-	if _, err := plan.Execute(tabular.ExecOptions{Parallelism: 1}); err != nil {
+	if _, err := plan.Execute(context.Background(), tabular.ExecOptions{Parallelism: 1}); err != nil {
 		return nil, err
 	}
 	res.TwoPhaseSeconds = time.Since(start).Seconds()
@@ -139,7 +140,7 @@ func RunGWASPaste(cfg GWASPasteConfig) (*GWASPasteResult, error) {
 		return nil, err
 	}
 	start = time.Now()
-	rows, err := plan2.Execute(tabular.ExecOptions{Parallelism: cfg.Parallelism})
+	rows, err := plan2.Execute(context.Background(), tabular.ExecOptions{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ package integration
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -258,7 +259,7 @@ func TestGWASWrangleToScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := plan.Execute(tabular.ExecOptions{Parallelism: 4})
+	rows, err := plan.Execute(context.Background(), tabular.ExecOptions{Parallelism: 4})
 	if err != nil || rows != 500 {
 		t.Fatalf("rows=%d err=%v", rows, err)
 	}

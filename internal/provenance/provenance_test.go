@@ -199,6 +199,86 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONLRoundTripDigestFields: the Inputs/Outputs digest maps — the gauge
+// ontology's input-digest/output-digest terms — must survive JSONL
+// serialization exactly, key by key.
+func TestJSONLRoundTripDigestFields(t *testing.T) {
+	s := NewStore()
+	r := rec("a", "savanna-run", "camp", StatusSucceeded, t0, time.Second)
+	r.Inputs = map[string]string{
+		"component": "sha256:0f1e2d3c4b5a69788796a5b4c3d2e1f00f1e2d3c4b5a69788796a5b4c3d2e1f0",
+		"genotypes": "sha256:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+	}
+	r.Outputs = map[string]string{
+		"result": "sha256:bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+	}
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	// A record with no digests keeps nil maps through the round-trip.
+	if err := s.Append(rec("b", "savanna-run", "camp", StatusSucceeded, t0, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Get("a")
+	if !ok {
+		t.Fatal("record a lost")
+	}
+	if len(got.Inputs) != 2 || got.Inputs["component"] != r.Inputs["component"] ||
+		got.Inputs["genotypes"] != r.Inputs["genotypes"] {
+		t.Fatalf("inputs mangled: %v", got.Inputs)
+	}
+	if len(got.Outputs) != 1 || got.Outputs["result"] != r.Outputs["result"] {
+		t.Fatalf("outputs mangled: %v", got.Outputs)
+	}
+	bare, _ := back.Get("b")
+	if bare.Inputs != nil || bare.Outputs != nil {
+		t.Fatalf("digest-free record grew maps: %v %v", bare.Inputs, bare.Outputs)
+	}
+}
+
+// TestIncompletePointsDuplicates: repeated sweep points in the plan (and
+// repeated attempts in the store) must not confuse the resubmission set — a
+// point succeeded once is complete however many times it appears, and each
+// incomplete duplicate is reported once per occurrence.
+func TestIncompletePointsDuplicates(t *testing.T) {
+	s := NewStore()
+	all := []map[string]string{
+		{"f": "a"}, {"f": "a"}, // duplicate planned point
+		{"f": "b"},
+		{"f": "c"}, {"f": "c"},
+	}
+	okA := rec("1", "irf", "camp", StatusSucceeded, t0, time.Second)
+	okA.SweepPoint = map[string]string{"f": "a"}
+	failB1 := rec("2", "irf", "camp", StatusFailed, t0, time.Second)
+	failB1.SweepPoint = map[string]string{"f": "b"}
+	failB2 := rec("3", "irf", "camp", StatusFailed, t0.Add(time.Minute), time.Second)
+	failB2.SweepPoint = map[string]string{"f": "b"} // second failed attempt
+	for _, r := range []Record{okA, failB1, failB2} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := s.IncompletePoints("camp", all)
+	if len(missing) != 3 {
+		t.Fatalf("want b plus both c occurrences incomplete, got %v", missing)
+	}
+	counts := map[string]int{}
+	for _, p := range missing {
+		counts[p["f"]]++
+	}
+	if counts["a"] != 0 || counts["b"] != 1 || counts["c"] != 2 {
+		t.Fatalf("incomplete point multiset wrong: %v", counts)
+	}
+}
+
 func TestStoreConcurrentAppend(t *testing.T) {
 	s := NewStore()
 	var wg sync.WaitGroup

@@ -1,0 +1,249 @@
+package savanna
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"fairflow/internal/cas"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/provenance"
+)
+
+func memoCampaign(t *testing.T, points int) *cheetah.Manifest {
+	t.Helper()
+	p, err := cheetah.IntRange("n", cheetah.Application, 1, points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cheetah.BuildManifest(cheetah.Campaign{
+		Name: "memo-campaign", App: "app", Account: "ACC",
+		Groups: []cheetah.SweepGroup{{
+			Name: "g", Nodes: 1, WalltimeMinutes: 1,
+			Sweeps: []cheetah.Sweep{{Name: "s", Parameters: []cheetah.Parameter{p}}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newMemo(t *testing.T, dir string) *Memo {
+	t.Helper()
+	store, err := cas.Open(filepath.Join(dir, "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := cas.OpenActionCache(filepath.Join(dir, "cas", "actions.json"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Memo{Cache: cache, ComponentDigest: "sha256:model-v1", InputDigests: map[string]string{
+		"genotypes": string(cas.HashBytes([]byte("dataset"))),
+	}}
+}
+
+// TestMemoSkipsWarmRuns: a second RunAll over the same campaign executes
+// nothing — every run is a cache hit, reported Cached and succeeded.
+func TestMemoSkipsWarmRuns(t *testing.T) {
+	dir := t.TempDir()
+	m := memoCampaign(t, 8)
+	var executions int64
+	reg := NewFuncRegistry("app")
+	reg.Register("app", func(map[string]string) error {
+		atomic.AddInt64(&executions, 1)
+		return nil
+	})
+	memo := newMemo(t, dir)
+	eng := &LocalEngine{Executor: reg, Workers: 4, Memo: memo}
+
+	cold, err := eng.RunAll(m.Campaign.Name, m.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&executions); got != 8 {
+		t.Fatalf("cold run executed %d, want 8", got)
+	}
+	for _, r := range cold {
+		if r.Cached || r.Status != provenance.StatusSucceeded {
+			t.Fatalf("cold result %+v", r)
+		}
+	}
+
+	warm, err := eng.RunAll(m.Campaign.Name, m.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&executions); got != 8 {
+		t.Fatalf("warm run executed %d more runs, want 0", got-8)
+	}
+	for _, r := range warm {
+		if !r.Cached || r.Status != provenance.StatusSucceeded {
+			t.Fatalf("warm result %+v", r)
+		}
+	}
+}
+
+// TestMemoInvalidatedByComponentAndInputs: changing the component digest or
+// any input digest re-executes every dependent run.
+func TestMemoInvalidatedByComponentAndInputs(t *testing.T) {
+	dir := t.TempDir()
+	m := memoCampaign(t, 4)
+	var executions int64
+	reg := NewFuncRegistry("app")
+	reg.Register("app", func(map[string]string) error {
+		atomic.AddInt64(&executions, 1)
+		return nil
+	})
+	memo := newMemo(t, dir)
+	eng := &LocalEngine{Executor: reg, Workers: 2, Memo: memo}
+	if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+		t.Fatal(err)
+	}
+
+	memo.ComponentDigest = "sha256:model-v2" // regenerated workflow
+	if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&executions); got != 8 {
+		t.Fatalf("component change executed %d total, want 8", got)
+	}
+
+	memo.InputDigests["genotypes"] = string(cas.HashBytes([]byte("new dataset")))
+	if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&executions); got != 12 {
+		t.Fatalf("input change executed %d total, want 12", got)
+	}
+}
+
+// TestMemoFailedRunsAreNotCached: a failed run must stay dirty — the next
+// campaign re-run retries it.
+func TestMemoFailedRunsAreNotCached(t *testing.T) {
+	dir := t.TempDir()
+	m := memoCampaign(t, 3)
+	var executions int64
+	reg := NewFuncRegistry("app")
+	reg.Register("app", func(params map[string]string) error {
+		atomic.AddInt64(&executions, 1)
+		if params["n"] == "2" {
+			return fmt.Errorf("transient failure")
+		}
+		return nil
+	})
+	eng := &LocalEngine{Executor: reg, Workers: 1, Memo: newMemo(t, dir)}
+	if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunAll(m.Campaign.Name, m.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&executions); got != 4 { // 3 cold + 1 retried failure
+		t.Fatalf("executed %d total, want 4", got)
+	}
+	for _, r := range res {
+		if r.Run.Params["n"] == "2" {
+			if r.Cached || r.Status != provenance.StatusFailed {
+				t.Fatalf("failed point result %+v", r)
+			}
+		} else if !r.Cached {
+			t.Fatalf("succeeded point %s not cached", r.Run.ID)
+		}
+	}
+}
+
+// TestMemoCollectRestoreRoundTrip: outputs collected into the store on the
+// cold run are rematerialized byte-identically by Restore on the warm run.
+func TestMemoCollectRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	outDir := filepath.Join(dir, "outputs")
+	m := memoCampaign(t, 3)
+	reg := NewFuncRegistry("app")
+	reg.Register("app", func(params map[string]string) error {
+		return os.WriteFile(filepath.Join(outDir, "result-"+params["n"]+".txt"),
+			[]byte("result for n="+params["n"]+"\n"), 0o644)
+	})
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	memo := newMemo(t, dir)
+	outPath := func(run cheetah.Run) string {
+		return filepath.Join(outDir, "result-"+run.Params["n"]+".txt")
+	}
+	memo.Collect = func(run cheetah.Run) (map[string]string, error) {
+		return map[string]string{"result": outPath(run)}, nil
+	}
+	restored := 0
+	memo.Restore = func(run cheetah.Run, outputs map[string]cas.Digest) error {
+		restored++
+		return memo.Cache.Store().Materialize(outputs["result"], outPath(run))
+	}
+	prov := provenance.NewStore()
+	eng := &LocalEngine{Executor: reg, Workers: 1, Memo: memo, Prov: prov}
+	if _, err := eng.RunAll(m.Campaign.Name, m.Runs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(outDir, "result-2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wipe the outputs; the warm run must rebuild them from the store.
+	if err := os.RemoveAll(outDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunAll(m.Campaign.Name, m.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 3 {
+		t.Fatalf("restored %d runs, want 3", restored)
+	}
+	for _, r := range res {
+		if !r.Cached {
+			t.Fatalf("run %s re-executed", r.Run.ID)
+		}
+	}
+	got, err := os.ReadFile(filepath.Join(outDir, "result-2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restored output differs from original")
+	}
+
+	// Provenance: cold records carry input+output digests; warm records are
+	// annotated cached with the same digests.
+	recs := prov.Select(provenance.Query{CampaignID: m.Campaign.Name})
+	if len(recs) != 6 {
+		t.Fatalf("provenance records = %d, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Inputs["component"] != "sha256:model-v1" || rec.Inputs["genotypes"] == "" {
+			t.Fatalf("record %d missing input digests: %v", i, rec.Inputs)
+		}
+		if rec.Outputs["result"] == "" || !cas.Digest(rec.Outputs["result"]).Valid() {
+			t.Fatalf("record %d missing output digest: %v", i, rec.Outputs)
+		}
+	}
+	cachedCount := 0
+	for _, rec := range recs {
+		for _, a := range rec.Annotations {
+			if a.Key == "cached" && a.Value == "true" {
+				cachedCount++
+			}
+		}
+	}
+	if cachedCount != 3 {
+		t.Fatalf("cached annotations = %d, want 3", cachedCount)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fairflow/internal/cas"
 	"fairflow/internal/cheetah"
 	"fairflow/internal/provenance"
 )
@@ -68,6 +69,9 @@ type RunResult struct {
 	Status  provenance.Status
 	Seconds float64
 	Err     string
+	// Cached marks a run satisfied from the memo's action cache — nothing
+	// was executed.
+	Cached bool
 }
 
 // LocalEngine executes manifests in-process with a bounded worker pool (the
@@ -87,6 +91,11 @@ type LocalEngine struct {
 	// recording it failed — in-engine handling of the transient failures
 	// that otherwise force a whole-campaign resubmission.
 	Retries int
+	// Memo, when non-nil, memoizes whole runs: a run whose (component
+	// digest, sweep point, input digests) recipe is already cached is
+	// skipped entirely, and successful executions are recorded for the
+	// next campaign re-run or resume.
+	Memo *Memo
 
 	// attempt numbers provenance records so resubmitted runs get fresh IDs
 	// (provenance is append-only; each attempt is its own record).
@@ -166,12 +175,31 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 
 func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
 	start := time.Now()
+
+	// Memoized skip path: an unchanged (component, sweep point, inputs)
+	// recipe means this run's outputs already exist — record it succeeded
+	// without executing anything.
+	if e.Memo != nil && e.Memo.validate() == nil {
+		if cached, ok := e.Memo.lookup(run); ok {
+			elapsed := time.Since(start)
+			if e.CampaignDir != "" {
+				cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunSucceeded)
+			}
+			e.appendProvenance(campaign, run, provenance.StatusSucceeded, elapsed, cached, true)
+			return RunResult{Run: run, Status: provenance.StatusSucceeded, Seconds: elapsed.Seconds(), Cached: true}
+		}
+	}
+
 	if e.CampaignDir != "" {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunRunning)
 	}
 	err := e.Executor.Execute(run)
 	for retry := 0; err != nil && retry < e.Retries; retry++ {
 		err = e.Executor.Execute(run)
+	}
+	var recorded cas.ActionResult
+	if err == nil && e.Memo != nil && e.Memo.validate() == nil {
+		recorded, err = e.Memo.record(run) // a failed record is a failed run: its reuse contract is broken
 	}
 	elapsed := time.Since(start)
 	res := RunResult{Run: run, Seconds: elapsed.Seconds()}
@@ -186,19 +214,35 @@ func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
 	if e.CampaignDir != "" {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, dirStatus)
 	}
-	if e.Prov != nil {
-		end := time.Now()
-		e.Prov.Append(provenance.Record{
-			ID:         fmt.Sprintf("%s/%s#%d", campaign, run.ID, atomic.AddInt64(&e.attempt, 1)),
-			Component:  "savanna-run",
-			Start:      end.Add(-elapsed),
-			End:        end,
-			Status:     status,
-			CampaignID: campaign,
-			SweepPoint: run.Params,
+	e.appendProvenance(campaign, run, status, elapsed, recorded, false)
+	return res
+}
+
+// appendProvenance emits one run's provenance record, carrying the memo's
+// input and output digests (the ontology's input-digest/output-digest terms)
+// and a cached annotation for skipped runs.
+func (e *LocalEngine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool) {
+	if e.Prov == nil {
+		return
+	}
+	end := time.Now()
+	rec := provenance.Record{
+		ID:         fmt.Sprintf("%s/%s#%d", campaign, run.ID, atomic.AddInt64(&e.attempt, 1)),
+		Component:  "savanna-run",
+		Start:      end.Add(-elapsed),
+		End:        end,
+		Status:     status,
+		CampaignID: campaign,
+		SweepPoint: run.Params,
+		Inputs:     e.Memo.provenanceInputs(),
+		Outputs:    provenanceOutputs(res),
+	}
+	if cached {
+		rec.Annotations = append(rec.Annotations, provenance.Annotation{
+			Key: "cached", Value: "true", Sensitivity: provenance.Public,
 		})
 	}
-	return res
+	e.Prov.Append(rec)
 }
 
 // Remaining filters a manifest's runs to those without a succeeded

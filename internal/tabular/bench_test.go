@@ -1,6 +1,7 @@
 package tabular
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -85,6 +86,6 @@ func BenchmarkExecutorSkewed(b *testing.B) {
 		run(b, func(p PastePlan, o ExecOptions) (int, error) { return executeBarrierParallel(p, o) })
 	})
 	b.Run("dag", func(b *testing.B) {
-		run(b, PastePlan.Execute)
+		run(b, func(p PastePlan, o ExecOptions) (int, error) { return p.Execute(context.Background(), o) })
 	})
 }

@@ -2,6 +2,7 @@ package tabular
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -119,7 +120,7 @@ func TestExecuteDAGMatchesSerialByteForByte(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rows, err := plan.Execute(ExecOptions{Parallelism: par})
+			rows, err := plan.Execute(context.Background(), ExecOptions{Parallelism: par})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,7 +152,7 @@ func TestExecuteReturnsFinalTaskRowCount(t *testing.T) {
 	if plan.Phases < 3 {
 		t.Fatalf("want a deep plan, got %d phases", plan.Phases)
 	}
-	got, err := plan.Execute(ExecOptions{Parallelism: 4})
+	got, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestExecuteFailureCleansIntermediates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(ExecOptions{Parallelism: 4}); err == nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4}); err == nil {
 		t.Fatal("missing input did not fail execution")
 	}
 	if entries, _ := os.ReadDir(work); len(entries) != 0 {
@@ -200,7 +201,7 @@ func TestExecuteFailureKeepsIntermediatesWhenAsked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(ExecOptions{Parallelism: 1, KeepIntermediates: true}); err == nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 1, KeepIntermediates: true}); err == nil {
 		t.Fatal("missing input did not fail execution")
 	}
 	entries, _ := os.ReadDir(work)
@@ -224,7 +225,7 @@ func TestExecuteAggregatesIndependentErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = plan.Execute(ExecOptions{Parallelism: 1})
+	_, err = plan.Execute(context.Background(), ExecOptions{Parallelism: 1})
 	if err == nil {
 		t.Fatal("missing inputs did not fail execution")
 	}
@@ -248,7 +249,7 @@ func TestExecuteDownstreamOfFailureNeverRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(ExecOptions{Parallelism: 4, KeepIntermediates: true}); err == nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4, KeepIntermediates: true}); err == nil {
 		t.Fatal("missing input did not fail execution")
 	}
 	if _, err := os.Stat(final); !os.IsNotExist(err) {
@@ -268,7 +269,7 @@ func TestExecuteRejectsCyclicPlan(t *testing.T) {
 		Phases: 1,
 		Final:  filepath.Join(dir, "b"),
 	}
-	if _, err := plan.Execute(ExecOptions{Parallelism: 2}); err == nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 2}); err == nil {
 		t.Fatal("cyclic plan did not error")
 	}
 }
@@ -294,7 +295,7 @@ func TestExecuteRaggedPlanEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := plan.Execute(ExecOptions{
+	rows, err := plan.Execute(context.Background(), ExecOptions{
 		Options:     Options{AllowRagged: true},
 		Parallelism: 3,
 	})
@@ -322,7 +323,7 @@ func TestExecuteRaggedPlanEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan2.Execute(ExecOptions{Parallelism: 3}); err == nil {
+	if _, err := plan2.Execute(context.Background(), ExecOptions{Parallelism: 3}); err == nil {
 		t.Fatal("strict mode accepted ragged inputs")
 	}
 }

@@ -1,0 +1,258 @@
+package tabular
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"fairflow/internal/cas"
+)
+
+// newTestCache builds a store + action cache under dir/cas.
+func newTestCache(t *testing.T, dir string) *cas.ActionCache {
+	t.Helper()
+	store, err := cas.Open(filepath.Join(dir, "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := cas.OpenActionCache(filepath.Join(dir, "cas", "actions.json"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+// TestWarmRerunExecutesZeroTasks is the memoization contract: a re-run with
+// unchanged inputs executes no paste task at all, and the materialized final
+// output is byte-identical to both the cold run and an uncached execution.
+func TestWarmRerunExecutesZeroTasks(t *testing.T) {
+	dir := t.TempDir()
+	inputs := writeTestColumns(t, dir, 24, 50)
+	cache := newTestCache(t, dir)
+
+	// Reference: uncached execution.
+	refFinal := filepath.Join(dir, "ref.tsv")
+	refPlan, err := PlanPaste(inputs, refFinal, filepath.Join(dir, "refwork"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows, err := refPlan.Execute(context.Background(), ExecOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	final := filepath.Join(dir, "out.tsv")
+	work := filepath.Join(dir, "work")
+	plan, err := PlanPaste(inputs, final, work, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold run: every task executes, none cached.
+	var cold ExecStats
+	rows, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4, Cache: cache, Stats: &cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != refRows {
+		t.Fatalf("cold rows = %d, want %d", rows, refRows)
+	}
+	if len(cold.Executed) != len(plan.Tasks) || len(cold.Cached) != 0 {
+		t.Fatalf("cold run: executed %d cached %d, want %d / 0", len(cold.Executed), len(cold.Cached), len(plan.Tasks))
+	}
+	got, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cold cached output differs from uncached execution")
+	}
+
+	// Warm run: same plan, unchanged inputs — zero pastes, all cached.
+	if err := os.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	var warm ExecStats
+	rows, err = plan.Execute(context.Background(), ExecOptions{Parallelism: 4, Cache: cache, Stats: &warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != refRows {
+		t.Fatalf("warm rows = %d, want %d", rows, refRows)
+	}
+	if len(warm.Executed) != 0 {
+		t.Fatalf("warm run executed %d tasks, want 0: %v", len(warm.Executed), warm.Executed)
+	}
+	if len(warm.Cached) != len(plan.Tasks) {
+		t.Fatalf("warm run cached %d tasks, want %d", len(warm.Cached), len(plan.Tasks))
+	}
+	got, err = os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("warm materialized output differs from uncached execution")
+	}
+	// Warm run must not leave intermediates behind (they were never made).
+	if entries, _ := os.ReadDir(work); len(entries) != 0 {
+		t.Fatalf("warm run materialized %d intermediates", len(entries))
+	}
+}
+
+// TestWarmRerunSurvivesCacheReload: the memoization state round-trips
+// through disk — a fresh process (new Store/ActionCache over the same dir)
+// still skips everything.
+func TestWarmRerunSurvivesCacheReload(t *testing.T) {
+	dir := t.TempDir()
+	inputs := writeTestColumns(t, dir, 9, 20)
+	final := filepath.Join(dir, "out.tsv")
+	plan, err := PlanPaste(inputs, final, filepath.Join(dir, "work"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 2, Cache: newTestCache(t, dir)}); err != nil {
+		t.Fatal(err)
+	}
+	var warm ExecStats
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 2, Cache: newTestCache(t, dir), Stats: &warm}); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Executed) != 0 {
+		t.Fatalf("reloaded cache re-executed %d tasks: %v", len(warm.Executed), warm.Executed)
+	}
+}
+
+// TestInvalidationReexecutesExactSubtree: changing one input file must
+// re-execute exactly the tasks on the path from that input to the final
+// merge — its phase-0 paste and the final task — while every sibling stays
+// cached; and the result must match an uncached run over the new inputs.
+func TestInvalidationReexecutesExactSubtree(t *testing.T) {
+	dir := t.TempDir()
+	inputs := writeTestColumns(t, dir, 16, 30) // fan-in 4 → 4 phase-0 tasks + final
+	cache := newTestCache(t, dir)
+	final := filepath.Join(dir, "out.tsv")
+	work := filepath.Join(dir, "work")
+	plan, err := PlanPaste(inputs, final, work, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 5 || plan.Phases != 2 {
+		t.Fatalf("unexpected plan shape: %d tasks, %d phases", len(plan.Tasks), plan.Phases)
+	}
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+
+	// inputs[5] feeds phase-0 task 1 (sources 4..7).
+	cells := make([]string, 30)
+	for r := range cells {
+		cells[r] = fmt.Sprintf("CHANGED_r%d", r)
+	}
+	if err := WriteColumn(inputs[5], cells); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats ExecStats
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4, Cache: cache, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	wantExecuted := []string{filepath.Join(work, "phase0_part0001.tsv"), final}
+	sort.Strings(wantExecuted)
+	if gotExec := sortedCopy(stats.Executed); len(gotExec) != 2 || gotExec[0] != wantExecuted[0] || gotExec[1] != wantExecuted[1] {
+		t.Fatalf("re-executed task set = %v, want %v", gotExec, wantExecuted)
+	}
+	if len(stats.Cached) != 3 {
+		t.Fatalf("cached task count = %d (%v), want 3", len(stats.Cached), stats.Cached)
+	}
+
+	// Correctness: the invalidated result equals a fresh uncached run.
+	refFinal := filepath.Join(dir, "ref.tsv")
+	refPlan, err := PlanPaste(inputs, refFinal, filepath.Join(dir, "refwork"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refPlan.Execute(context.Background(), ExecOptions{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("invalidated re-run output differs from uncached execution")
+	}
+}
+
+// TestExecuteCanceledBeforeStart: an already-canceled context runs nothing
+// and reports the cancellation.
+func TestExecuteCanceledBeforeStart(t *testing.T) {
+	dir := t.TempDir()
+	inputs := writeTestColumns(t, dir, 8, 5)
+	final := filepath.Join(dir, "f.tsv")
+	plan, err := PlanPaste(inputs, final, filepath.Join(dir, "w"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stats ExecStats
+	_, err = plan.Execute(ctx, ExecOptions{Parallelism: 4, Stats: &stats})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(stats.Executed) != 0 {
+		t.Fatalf("canceled plan still executed %v", stats.Executed)
+	}
+	if _, serr := os.Stat(final); !os.IsNotExist(serr) {
+		t.Fatal("canceled plan left a final output behind")
+	}
+}
+
+// TestExecuteCancellationStopsLaunches: cancelling mid-plan stops further
+// task launches promptly — with one worker, cancelling during the first
+// task's paste means no later task ever starts.
+func TestExecuteCancellationStopsLaunches(t *testing.T) {
+	dir := t.TempDir()
+	inputs := writeTestColumns(t, dir, 27, 10) // fan-in 3 → 9+3+1 = 13 tasks
+	plan, err := PlanPaste(inputs, filepath.Join(dir, "f.tsv"), filepath.Join(dir, "w"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	opts := ExecOptions{Parallelism: 1, testTaskStart: func(int) {
+		started++
+		cancel() // cancel while the first task is launching
+	}}
+	var stats ExecStats
+	opts.Stats = &stats
+	_, err = plan.Execute(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started != 1 {
+		t.Fatalf("launched %d tasks after cancellation, want exactly 1", started)
+	}
+	if len(stats.Executed) > 1 {
+		t.Fatalf("executed %v after cancellation", stats.Executed)
+	}
+}

@@ -1,11 +1,15 @@
 package tabular
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
+
+	"fairflow/internal/cas"
 )
 
 // PasteTask is one paste invocation inside a plan: sources → output.
@@ -82,8 +86,62 @@ type ExecOptions struct {
 	// into parallelizable subjobs" — the executor is that planning, encoded.
 	Parallelism int
 	// KeepIntermediates leaves phase outputs on disk for inspection (on
-	// the failure path too).
+	// the failure path too). Cache-satisfied intermediates are never
+	// materialized, so there is nothing to keep for them.
 	KeepIntermediates bool
+	// Cache enables memoized execution: each task's recipe — (operation,
+	// options, ordered input digests) — is looked up in the action cache,
+	// and hits skip the paste entirely, materializing the stored output by
+	// hard-link/copy only where a downstream task (or the final output)
+	// actually needs the bytes. A warm re-run with unchanged inputs
+	// executes zero paste tasks.
+	Cache *cas.ActionCache
+	// Stats, when non-nil, receives the executed/cached task breakdown.
+	Stats *ExecStats
+
+	// testTaskStart, when set (tests only), runs just before task i's paste.
+	testTaskStart func(i int)
+}
+
+// ExecStats reports what an Execute call actually did, for observability and
+// for asserting cache invalidation behaviour. Do not read while Execute is
+// in flight.
+type ExecStats struct {
+	mu sync.Mutex
+	// Executed lists outputs of tasks that ran their paste.
+	Executed []string
+	// Cached lists outputs of tasks satisfied from the action cache.
+	Cached []string
+}
+
+func (s *ExecStats) note(output string, cached bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if cached {
+		s.Cached = append(s.Cached, output)
+	} else {
+		s.Executed = append(s.Executed, output)
+	}
+	s.mu.Unlock()
+}
+
+// pasteRecipeKind versions the paste operation in the action cache; bump it
+// whenever Paste's output semantics change.
+const pasteRecipeKind = "tabular/paste@v1"
+
+// taskRecipe builds the action-cache recipe for one task given its source
+// digests.
+func taskRecipe(opts Options, srcDigests []cas.Digest) cas.Recipe {
+	return cas.Recipe{
+		Kind: pasteRecipeKind,
+		Params: map[string]string{
+			"delim":  opts.delimiter(),
+			"ragged": strconv.FormatBool(opts.AllowRagged),
+		},
+		Inputs: srcDigests,
+	}
 }
 
 // Intermediates returns the outputs of every non-final task, in plan order —
@@ -106,11 +164,23 @@ func (p PastePlan) Intermediates() []string {
 // the row count of the final output, taken from the final task's own paste
 // (no extra counting pass over the largest file).
 //
+// Cancelling ctx stops further task launches promptly: queued tasks are
+// drained unrun, in-flight pastes finish, and Execute returns ctx's error
+// (joined with any task failures) after cleaning up intermediates.
+//
+// With opts.Cache set, execution is memoized per task: unchanged recipes are
+// skipped and their outputs materialized from the content-addressed store
+// only where actually consumed, so a fully-warm re-run executes zero pastes
+// and touches only the final artifact.
+//
 // On failure, every error is aggregated (errors.Join) — concurrent tasks
 // that fail independently are all reported — and intermediates are removed
 // unless KeepIntermediates is set. Tasks downstream of a failed task are
 // never started.
-func (p PastePlan) Execute(opts ExecOptions) (int, error) {
+func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	par := opts.Parallelism
 	if par < 1 {
 		par = 1
@@ -153,24 +223,150 @@ func (p PastePlan) Execute(opts ExecOptions) (int, error) {
 	var (
 		mu        sync.Mutex
 		errs      []error
+		canceled  bool
 		finalRows int
 		finalSeen bool
 		completed int
 	)
+	// digests[i] is task i's output digest (cache mode), written under mu
+	// when i completes and read by dependents afterwards. materialized[i]
+	// tracks whether that output exists as a file; cached outputs are
+	// materialized lazily, under matMu[i], by the first consumer that needs
+	// the bytes.
+	digests := make([]cas.Digest, n)
+	materialized := make([]bool, n)
+	matMu := make([]sync.Mutex, n)
+
+	ensureMaterialized := func(j int) error {
+		matMu[j].Lock()
+		defer matMu[j].Unlock()
+		if materialized[j] {
+			return nil
+		}
+		if err := opts.Cache.Store().Materialize(digests[j], p.Tasks[j].Output); err != nil {
+			return err
+		}
+		materialized[j] = true
+		return nil
+	}
+
+	// runTask performs task i (paste, or cache hit), returning its row
+	// count, output digest (cache mode) and whether it was cache-satisfied.
+	runTask := func(i int) (rows int, out cas.Digest, cached bool, err error) {
+		task := p.Tasks[i]
+		if opts.Cache == nil {
+			if opts.testTaskStart != nil {
+				opts.testTaskStart(i)
+			}
+			rows, err = PasteFiles(task.Output, opts.Options, task.Sources...)
+			return rows, "", false, err
+		}
+		srcDigests := make([]cas.Digest, len(task.Sources))
+		for k, s := range task.Sources {
+			if j, ok := producer[s]; ok && j != i {
+				srcDigests[k] = digests[j] // producer completed before i was released
+			} else {
+				d, herr := opts.Cache.HashFileCached(s)
+				if herr != nil {
+					return 0, "", false, herr
+				}
+				srcDigests[k] = d
+			}
+		}
+		rd := taskRecipe(opts.Options, srcDigests).Digest()
+		if res, ok := opts.Cache.Get(rd); ok {
+			d := res.Outputs["out"]
+			rows = -1
+			if v, perr := strconv.Atoi(res.Meta["rows"]); perr == nil {
+				rows = v
+			}
+			if task.Output == p.Final {
+				// The final artifact must exist on disk either way.
+				matMu[i].Lock()
+				merr := opts.Cache.Store().Materialize(d, task.Output)
+				if merr == nil {
+					materialized[i] = true
+				}
+				matMu[i].Unlock()
+				if merr != nil {
+					return 0, "", false, merr
+				}
+				if rows < 0 { // entry predating row metadata
+					if rows, err = CountRows(task.Output); err != nil {
+						return 0, "", false, err
+					}
+				}
+			}
+			return rows, d, true, nil
+		}
+		// Miss: sources satisfied from cache upstream must exist as files
+		// before the paste reads them.
+		for _, s := range task.Sources {
+			if j, ok := producer[s]; ok && j != i {
+				if merr := ensureMaterialized(j); merr != nil {
+					return 0, "", false, merr
+				}
+			}
+		}
+		if opts.testTaskStart != nil {
+			opts.testTaskStart(i)
+		}
+		// Remove (never truncate) any previous output: it may be a hard
+		// link sharing the store object's inode.
+		os.Remove(task.Output)
+		rows, err = PasteFiles(task.Output, opts.Options, task.Sources...)
+		if err != nil {
+			return 0, "", false, err
+		}
+		d, _, perr := opts.Cache.Store().PutFile(task.Output)
+		if perr != nil {
+			return 0, "", false, perr
+		}
+		if perr := opts.Cache.Put(rd, cas.ActionResult{
+			Outputs: map[string]cas.Digest{"out": d},
+			Meta:    map[string]string{"rows": strconv.Itoa(rows)},
+		}); perr != nil {
+			return 0, "", false, perr
+		}
+		matMu[i].Lock()
+		materialized[i] = true
+		matMu[i].Unlock()
+		return rows, d, false, nil
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(par)
 	for w := 0; w < par; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range ready {
+				var (
+					rows   int
+					out    cas.Digest
+					cached bool
+					err    error
+				)
+				launched := ctx.Err() == nil
+				if launched {
+					rows, out, cached, err = runTask(i)
+				}
 				task := p.Tasks[i]
-				rows, err := PasteFiles(task.Output, opts.Options, task.Sources...)
 
 				mu.Lock()
 				completed++
-				if err != nil {
+				switch {
+				case !launched:
+					// Cancelled before launch: record ctx's error once;
+					// dependents are simply never released.
+					if !canceled {
+						canceled = true
+						errs = append(errs, fmt.Errorf("tabular: paste plan canceled: %w", ctx.Err()))
+					}
+				case err != nil:
 					errs = append(errs, fmt.Errorf("tabular: phase %d task %s: %w", task.Phase, task.Output, err))
-				} else {
+				default:
+					digests[i] = out
+					opts.Stats.note(task.Output, cached)
 					if task.Output == p.Final {
 						finalRows, finalSeen = rows, true
 					}
@@ -202,7 +398,9 @@ func (p PastePlan) Execute(opts ExecOptions) (int, error) {
 	if !opts.KeepIntermediates {
 		// Cleanup is derived from the plan, not from launch bookkeeping, so
 		// it covers the failure path (partial and skipped outputs included);
-		// removal of never-written files is a harmless ENOENT.
+		// removal of never-written files is a harmless ENOENT. Removing a
+		// hard-linked intermediate only unlinks this path — the store's
+		// object survives for the next warm run.
 		for _, path := range p.Intermediates() {
 			os.Remove(path)
 		}
@@ -210,6 +408,13 @@ func (p PastePlan) Execute(opts ExecOptions) (int, error) {
 			// A failed plan must not leave a partial (or stale) final file
 			// behind to be mistaken for a successful paste.
 			os.Remove(p.Final)
+		}
+	}
+	if opts.Cache != nil {
+		// Persist file-stat digest memos even when every task hit (no Put
+		// ran): the next warm run then skips re-reading unchanged inputs.
+		if serr := opts.Cache.Save(); serr != nil && err == nil {
+			err = serr
 		}
 	}
 	if err != nil {

@@ -1,6 +1,7 @@
 package tabular
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -251,7 +252,7 @@ func TestExecuteTwoPhasePlanEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := plan.Execute(ExecOptions{Parallelism: 4})
+	rows, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestExecuteKeepsIntermediatesWhenAsked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(ExecOptions{Parallelism: 2, KeepIntermediates: true}); err != nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{Parallelism: 2, KeepIntermediates: true}); err != nil {
 		t.Fatal(err)
 	}
 	entries, _ := os.ReadDir(filepath.Join(dir, "work"))
@@ -305,7 +306,7 @@ func TestExecutePropagatesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.Execute(ExecOptions{}); err == nil {
+	if _, err := plan.Execute(context.Background(), ExecOptions{}); err == nil {
 		t.Fatal("missing input did not fail execution")
 	}
 }
