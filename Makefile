@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench experiments examples clean
+.PHONY: all build vet test race short bench bench-json experiments examples clean
 
 all: build vet test
 
@@ -22,6 +22,11 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One quick pass over every benchmark, rendered machine-readable so CI can
+# publish it and successive PRs can diff the numbers.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
 # Regenerate every paper figure at full scale into results.md.
 experiments:
 	$(GO) run ./cmd/experiments -scale full -o results.md
@@ -37,4 +42,4 @@ examples:
 	$(GO) run ./examples/insitu-monitor
 
 clean:
-	rm -f results.md test_output.txt bench_output.txt
+	rm -f results.md test_output.txt bench_output.txt BENCH_PR3.json

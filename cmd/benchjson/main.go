@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin) into a machine-readable JSON array, one element per benchmark
+// result:
+//
+//	[{"name": "BenchmarkGWASPasteWorkflow-8",
+//	  "ns_per_op": 12345678.9, "bytes_per_op": 4096, "allocs_per_op": 12}, ...]
+//
+// It is the Makefile's bench-json target and the CI step that publishes
+// BENCH_PR3.json: a stable artifact that lets successive PRs diff benchmark
+// numbers without re-parsing free-form test output.
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d result(s) to %s\n", len(results), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Result is one benchmark line's measurements. BytesPerOp/AllocsPerOp are
+// -1 when the run lacked -benchmem.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseBench scans go test bench output for result lines. A result line is
+// "BenchmarkName-N <iterations> <value> <unit> ..." with value/unit pairs;
+// everything else (PASS, ok, logs) is skipped. Results always parse in
+// order of appearance; duplicate names (e.g. -count>1) are all kept.
+func parseBench(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	results := []Result{}
+	for sc.Scan() {
+		fields := splitFields(sc.Text())
+		if len(fields) < 4 || len(fields[0]) < len("Benchmark") || fields[0][:len("Benchmark")] != "Benchmark" {
+			continue
+		}
+		var iters int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if _, err := fmt.Sscanf(value, "%g", &res.NsPerOp); err == nil {
+					seen = true
+				}
+			case "B/op":
+				fmt.Sscanf(value, "%d", &res.BytesPerOp)
+			case "allocs/op":
+				fmt.Sscanf(value, "%d", &res.AllocsPerOp)
+			}
+		}
+		if seen {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// splitFields splits on runs of spaces and tabs (go test aligns columns with
+// both).
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: fairflow
+BenchmarkGWASPasteWorkflow-8   	       2	 512345678 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkKernelOnly-8          	 1000000	      1052 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8               	     500	   2000000 ns/op
+PASS
+ok  	fairflow	3.214s
+`
+	results, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkGWASPasteWorkflow-8" || r.Iterations != 2 {
+		t.Errorf("first result header: %+v", r)
+	}
+	if r.NsPerOp != 512345678 || r.BytesPerOp != 1234567 || r.AllocsPerOp != 4321 {
+		t.Errorf("first result values: %+v", r)
+	}
+	if results[1].AllocsPerOp != 0 || results[1].BytesPerOp != 0 {
+		t.Errorf("zero-alloc result must keep explicit zeros: %+v", results[1])
+	}
+	if results[2].BytesPerOp != -1 || results[2].AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem columns must be -1: %+v", results[2])
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	results, err := parseBench(strings.NewReader("PASS\nok\tx\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %d, want 0", len(results))
+	}
+}
+
+func TestParseBenchFractionalNs(t *testing.T) {
+	input := "BenchmarkTiny-4 \t 200000000\t         5.25 ns/op\n"
+	results, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 5.25 {
+		t.Fatalf("fractional ns/op: %+v", results)
+	}
+}

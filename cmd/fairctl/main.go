@@ -16,6 +16,14 @@
 //	fairctl cas stats  -dir <store>   object count and payload bytes of an artifact store
 //	fairctl cas verify -dir <store>   re-hash every stored object against its digest
 //	fairctl cas gc     -dir <store>   sweep objects unreferenced by the action cache
+//	fairctl metrics -f dump.json [-format prom|json]
+//	                                  render a telemetry dump's metrics (Prometheus
+//	                                  text or JSON snapshot)
+//	fairctl trace -f dump.json [-o trace.json] [campaign]
+//	                                  convert a dump's spans to Chrome trace_event
+//	                                  JSON (chrome://tracing, ui.perfetto.dev);
+//	                                  an optional campaign argument keeps only
+//	                                  trees rooted at that campaign
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"fairflow/internal/gauge"
 	"fairflow/internal/provenance"
 	"fairflow/internal/schema"
+	"fairflow/internal/telemetry"
 )
 
 func main() {
@@ -93,8 +102,86 @@ func main() {
 		default:
 			casUsage()
 		}
+	case "metrics":
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		file := fs.String("f", "", "telemetry dump JSON (as written by gwaspaste -telemetry)")
+		format := fs.String("format", "prom", "output format: prom or json")
+		fs.Parse(os.Args[2:])
+		if *file == "" {
+			fatal(fmt.Errorf("metrics needs -f"))
+		}
+		metricsCmd(*file, *format)
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		file := fs.String("f", "", "telemetry dump JSON (as written by gwaspaste -telemetry)")
+		out := fs.String("o", "", "output trace file (default stdout)")
+		fs.Parse(os.Args[2:])
+		if *file == "" {
+			fatal(fmt.Errorf("trace needs -f"))
+		}
+		traceCmd(*file, *out, fs.Arg(0))
 	default:
 		usage()
+	}
+}
+
+func readDump(file string) telemetry.Dump {
+	f, err := os.Open(file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	dump, err := telemetry.ReadDump(f)
+	if err != nil {
+		fatal(err)
+	}
+	return dump
+}
+
+func metricsCmd(file, format string) {
+	dump := readDump(file)
+	switch format {
+	case "prom":
+		if err := telemetry.WritePrometheus(os.Stdout, dump.Metrics); err != nil {
+			fatal(err)
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump.Metrics); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("metrics: unknown format %q (want prom or json)", format))
+	}
+}
+
+func traceCmd(file, out, campaign string) {
+	dump := readDump(file)
+	spans := dump.Spans
+	if campaign != "" {
+		spans = telemetry.FilterByRoot(spans, func(root telemetry.SpanData) bool {
+			return root.Attr("campaign") == campaign || root.Name == campaign
+		})
+		if len(spans) == 0 {
+			fatal(fmt.Errorf("trace: no span tree rooted at campaign %q", campaign))
+		}
+	}
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := telemetry.WriteChromeTrace(dst, spans); err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "fairctl: wrote %d span(s) to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(spans), out)
 	}
 }
 
@@ -194,7 +281,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace> [flags]")
 	os.Exit(2)
 }
 

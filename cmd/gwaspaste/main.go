@@ -6,6 +6,13 @@
 //
 //	gwaspaste -inputs 'dir/sample_*.txt' -output matrix.tsv \
 //	          -workdir work -fanin 64 -parallel 8 [-keep] [-ragged] [-delim $'\t']
+//
+// Observability (all opt-in, zero cost when unset):
+//
+//	-cache dir        memoize tasks through a content-addressed action cache
+//	-telemetry f.json write a metrics + span dump (fairctl metrics/trace read it)
+//	-trace f.json     write a Chrome trace_event file (chrome://tracing, Perfetto)
+//	-debug-addr :8080 serve /metrics, /telemetry.json, /trace.json, /debug/pprof
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"sort"
 	"time"
 
+	"fairflow/internal/cas"
 	"fairflow/internal/tabular"
+	"fairflow/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +38,10 @@ func main() {
 	keep := flag.Bool("keep", false, "keep phase intermediates (also on failure)")
 	delim := flag.String("delim", "\t", "output column delimiter")
 	ragged := flag.Bool("ragged", false, "permit inputs with differing row counts (missing cells empty)")
+	cacheDir := flag.String("cache", "", "action-cache directory for memoized execution")
+	telemetryOut := flag.String("telemetry", "", "write a JSON telemetry dump (metrics + spans) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /telemetry.json, /trace.json and /debug/pprof on this address")
 	flag.Parse()
 
 	if *inputs == "" || *output == "" {
@@ -51,13 +64,58 @@ func main() {
 	fmt.Printf("gwaspaste: %d inputs, %d phases, %d tasks DAG-scheduled on %d workers (max %d concurrent files per task)\n",
 		len(files), plan.Phases, len(plan.Tasks), *parallel, plan.MaxConcurrentFiles())
 
+	// Telemetry is nil (and free) unless one of the observability flags asks
+	// for it.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telemetryOut != "" || *traceOut != "" || *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer()
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebugServer(*debugAddr, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gwaspaste: debug endpoint at http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+
+	var cache *cas.ActionCache
+	if *cacheDir != "" {
+		store, err := cas.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache, err = cas.OpenActionCache(filepath.Join(*cacheDir, "actions.json"), store)
+		if err != nil {
+			fatal(err)
+		}
+		cache.SetMetrics(reg)
+	}
+
 	opts := tabular.Options{Delimiter: *delim, AllowRagged: *ragged}
+	ctx, campaignSpan := tracer.Start(context.Background(), "paste.campaign",
+		telemetry.String("campaign", "gwaspaste"),
+		telemetry.Int("inputs", len(files)))
+	ctx, runSpan := tracer.Start(ctx, "paste.run",
+		telemetry.Int("tasks", len(plan.Tasks)),
+		telemetry.Int("phases", plan.Phases))
+	var stats tabular.ExecStats
 	start := time.Now()
-	rows, err := plan.Execute(context.Background(), tabular.ExecOptions{
+	rows, err := plan.Execute(ctx, tabular.ExecOptions{
 		Options:           opts,
 		Parallelism:       *parallel,
 		KeepIntermediates: *keep,
+		Cache:             cache,
+		Stats:             &stats,
+		Tracer:            tracer,
+		Metrics:           reg,
 	})
+	runSpan.End(telemetry.Bool("error", err != nil))
+	campaignSpan.End()
+	if werr := writeTelemetry(*telemetryOut, *traceOut, reg, tracer); werr != nil {
+		fatal(werr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +125,44 @@ func main() {
 	}
 	fmt.Printf("gwaspaste: wrote %s (%d rows × %d columns) in %.2fs\n",
 		*output, rows, cols, time.Since(start).Seconds())
+	if cache != nil {
+		fmt.Printf("gwaspaste: %d task(s) executed, %d satisfied from cache\n",
+			len(stats.Executed), len(stats.Cached))
+	}
+}
+
+// writeTelemetry flushes the dump and/or Chrome trace files. It runs on the
+// failure path too, so a partial campaign still leaves its trace behind.
+func writeTelemetry(dumpPath, tracePath string, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+	if dumpPath != "" {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Collect(reg, tracer).WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("gwaspaste: telemetry dump written to %s\n", dumpPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, tracer.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("gwaspaste: Chrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
 }
 
 func fatal(err error) {

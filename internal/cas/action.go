@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"fairflow/internal/telemetry"
 )
 
 // Recipe describes one deterministic operation: what kind of work, with
@@ -92,6 +94,30 @@ type ActionCache struct {
 	actions map[Digest]ActionResult
 	files   map[string]fileStat
 	dirty   bool
+
+	// Telemetry counters (nil when unset — increments are then no-ops).
+	// Wire them with SetMetrics before concurrent use.
+	mHits       *telemetry.Counter
+	mMisses     *telemetry.Counter
+	mMemoHits   *telemetry.Counter
+	mMemoMisses *telemetry.Counter
+}
+
+// SetMetrics registers the cache's instruments in reg and starts feeding
+// them: cas.action_hits_total / cas.action_misses_total (Get outcomes — a
+// cached entry whose output objects were GC'd counts as a miss, matching the
+// re-execution it forces) and cas.filehash_memo_hits_total /
+// cas.filehash_memo_misses_total (stat-fingerprint digest memo). The backing
+// store is wired too. Call before concurrent use; a nil registry is a no-op.
+func (c *ActionCache) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mHits = reg.Counter("cas.action_hits_total")
+	c.mMisses = reg.Counter("cas.action_misses_total")
+	c.mMemoHits = reg.Counter("cas.filehash_memo_hits_total")
+	c.mMemoMisses = reg.Counter("cas.filehash_memo_misses_total")
+	c.store.SetMetrics(reg)
 }
 
 // OpenActionCache loads (or initialises) the action cache at path, backed by
@@ -144,13 +170,16 @@ func (c *ActionCache) Get(recipe Digest) (ActionResult, bool) {
 	res, ok := c.actions[recipe]
 	c.mu.Unlock()
 	if !ok {
+		c.mMisses.Inc()
 		return ActionResult{}, false
 	}
 	for _, d := range res.Outputs {
 		if !c.store.Has(d) {
+			c.mMisses.Inc()
 			return ActionResult{}, false
 		}
 	}
+	c.mHits.Inc()
 	return res, true
 }
 
@@ -175,8 +204,10 @@ func (c *ActionCache) HashFileCached(path string) (Digest, error) {
 	st, ok := c.files[path]
 	c.mu.Unlock()
 	if ok && st.Size == fi.Size() && st.Mtime == fi.ModTime().UnixNano() {
+		c.mMemoHits.Inc()
 		return st.SHA, nil
 	}
+	c.mMemoMisses.Inc()
 	d, _, err := HashFile(path)
 	if err != nil {
 		return "", err

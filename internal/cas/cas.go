@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"fairflow/internal/telemetry"
 )
 
 // Digest identifies an object: "sha256:<64 hex chars>".
@@ -98,6 +100,28 @@ type Store struct {
 
 	mu  sync.Mutex
 	idx *Index
+
+	// Telemetry counters (nil when unset — increments are then no-ops).
+	// Wire them with SetMetrics before concurrent use.
+	mPutBytes     *telemetry.Counter
+	mObjectsPut   *telemetry.Counter
+	mPutDedup     *telemetry.Counter
+	mMaterialized *telemetry.Counter
+}
+
+// SetMetrics registers the store's instruments in reg and starts feeding
+// them: cas.put_bytes_total (bytes streamed through Put), cas.objects_put_total
+// (new objects stored), cas.put_dedup_total (Puts satisfied by an existing
+// object), cas.materialize_total (Materialize calls). Call before the store
+// is used concurrently; a nil registry is a no-op.
+func (s *Store) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mPutBytes = reg.Counter("cas.put_bytes_total")
+	s.mObjectsPut = reg.Counter("cas.objects_put_total")
+	s.mPutDedup = reg.Counter("cas.put_dedup_total")
+	s.mMaterialized = reg.Counter("cas.materialize_total")
 }
 
 // Open opens (creating if necessary) a store rooted at dir.
@@ -133,6 +157,12 @@ func (s *Store) Put(r io.Reader) (Digest, int64, error) {
 	tmpName := tmp.Name()
 	h := sha256.New()
 	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	// The object's bytes must be on stable storage before the rename
+	// publishes them: rename-then-crash must never yield a named but empty
+	// (or torn) object.
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -144,9 +174,11 @@ func (s *Store) Put(r io.Reader) (Digest, int64, error) {
 	h.Sum(sum[:0])
 	d := sumToDigest(sum)
 
+	s.mPutBytes.Add(n)
 	dst := s.objectPath(d)
 	if _, statErr := os.Stat(dst); statErr == nil {
 		os.Remove(tmpName) // already stored; content-addressing dedups
+		s.mPutDedup.Inc()
 	} else {
 		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 			os.Remove(tmpName)
@@ -159,6 +191,12 @@ func (s *Store) Put(r io.Reader) (Digest, int64, error) {
 			os.Remove(tmpName)
 			return "", n, err
 		}
+		// Durability of the rename itself: the new directory entry must
+		// survive power loss, so fsync the parent directory too.
+		if err := syncDir(filepath.Dir(dst)); err != nil {
+			return "", n, err
+		}
+		s.mObjectsPut.Inc()
 	}
 
 	s.mu.Lock()
@@ -218,6 +256,7 @@ func (s *Store) Materialize(d Digest, dst string) error {
 	if _, err := os.Stat(src); err != nil {
 		return fmt.Errorf("cas: materialize %s: %w", d.Short(), err)
 	}
+	s.mMaterialized.Inc()
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return err
 	}

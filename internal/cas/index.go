@@ -90,7 +90,9 @@ func (idx *Index) save() error {
 }
 
 // writeFileAtomic writes data to path via a temp file in the same directory
-// and an atomic rename.
+// and an atomic rename. The temp file is fsynced before the rename and the
+// parent directory after it, so the write is durable across power loss —
+// not just atomic against crashes and concurrent readers.
 func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -99,6 +101,9 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
@@ -108,8 +113,24 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 	if werr == nil {
 		werr = os.Rename(tmpName, path)
 	}
+	if werr == nil {
+		werr = syncDir(dir)
+	}
 	if werr != nil {
 		os.Remove(tmpName)
 	}
 	return werr
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

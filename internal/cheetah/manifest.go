@@ -13,13 +13,19 @@ import (
 // writeFileAtomic writes data via a temp file in the target's directory and
 // an atomic rename: a crash (or a concurrent reader) can never observe a
 // torn or partially-written campaign file — only the old content or the new.
+// The temp file is fsynced before the rename and the parent directory after
+// it, so the write is also durable across power loss.
 func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
@@ -29,10 +35,26 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 	if werr == nil {
 		werr = os.Rename(tmpName, path)
 	}
+	if werr == nil {
+		werr = syncDir(dir)
+	}
 	if werr != nil {
 		os.Remove(tmpName)
 	}
 	return werr
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // Manifest is the interoperability layer between composition (Cheetah) and

@@ -3,6 +3,8 @@ package hpcsim
 import (
 	"fmt"
 	"sort"
+
+	"fairflow/internal/telemetry"
 )
 
 // JobState tracks a batch job through its lifecycle.
@@ -99,6 +101,16 @@ type Cluster struct {
 	ExpiredJobs   int
 	// BackfilledJobs counts jobs started out of queue order.
 	BackfilledJobs int
+
+	// Telemetry instruments (nil until SetMetrics — updates are then no-ops
+	// beyond one nil check on gFree).
+	gFree       *telemetry.Gauge
+	gBusy       *telemetry.Gauge
+	gQueued     *telemetry.Gauge
+	gUtil       *telemetry.Gauge
+	mCompleted  *telemetry.Counter
+	mExpired    *telemetry.Counter
+	mBackfilled *telemetry.Counter
 }
 
 // NewCluster builds a cluster of cfg.Nodes nodes attached to sim. The
@@ -206,6 +218,7 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 	j := &Job{Spec: spec, State: JobQueued, Submitted: c.sim.Now()}
 	c.queue = append(c.queue, j)
 	c.jobs = append(c.jobs, j)
+	c.updateTelemetry()
 	// Defer scheduling to an event so Submit never reenters user callbacks.
 	c.sim.After(0, c.trySchedule)
 	return j, nil
@@ -225,6 +238,7 @@ func (c *Cluster) trySchedule() {
 		c.start(head, free[:head.Spec.Nodes])
 	}
 	if c.scheduling != Backfill || len(c.queue) < 2 {
+		c.updateTelemetry()
 		return
 	}
 	head := c.queue[0]
@@ -235,6 +249,7 @@ func (c *Cluster) trySchedule() {
 		if len(free) >= j.Spec.Nodes && c.sim.Now()+j.Spec.Walltime <= reservation {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			c.BackfilledJobs++
+			c.mBackfilled.Inc()
 			c.start(j, free[:j.Spec.Nodes])
 			// Starting j occupies nodes that were idle anyway, and j ends
 			// before the reservation, so the reservation stands.
@@ -242,6 +257,7 @@ func (c *Cluster) trySchedule() {
 		}
 		i++
 	}
+	c.updateTelemetry()
 }
 
 // reservationTime computes the earliest time at which `nodes` nodes will be
@@ -405,6 +421,7 @@ func (a *Allocation) RunTask(name string, nodeID int, duration float64, done fun
 	nd.busySince = a.cluster.sim.Now()
 	a.tasks[t] = struct{}{}
 	t.finish = a.cluster.sim.After(duration, func() { t.complete(true) })
+	a.cluster.updateTelemetry()
 	return t, nil
 }
 
@@ -419,6 +436,7 @@ func (t *Task) complete(ok bool) {
 	now := a.cluster.sim.Now()
 	a.cluster.util.Record(t.NodeID, t.node.busySince, now)
 	t.node.busy = false
+	a.cluster.updateTelemetry()
 	if t.done != nil {
 		t.done(ok)
 	}
@@ -457,9 +475,12 @@ func (a *Allocation) terminate(state JobState) {
 	a.job.Ended = a.cluster.sim.Now()
 	if state == JobCompleted {
 		a.cluster.CompletedJobs++
+		a.cluster.mCompleted.Inc()
 	} else if state == JobExpired {
 		a.cluster.ExpiredJobs++
+		a.cluster.mExpired.Inc()
 	}
+	a.cluster.updateTelemetry()
 	if a.job.Spec.OnEnd != nil {
 		a.job.Spec.OnEnd(a.job)
 	}

@@ -1,0 +1,93 @@
+package hpcsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+)
+
+// TestClusterTelemetry drives one job through the cluster and checks the
+// gauges track node/queue state and the counters track terminal jobs.
+func TestClusterTelemetry(t *testing.T) {
+	sim := New(1)
+	c := NewCluster(sim, ClusterConfig{Nodes: 4}, 1)
+	reg := telemetry.NewRegistry()
+	c.SetMetrics(reg)
+
+	gauge := func(name string) float64 {
+		t.Helper()
+		return reg.Gauge(name).Value()
+	}
+	if got := gauge("hpcsim.free_nodes"); got != 4 {
+		t.Fatalf("free_nodes at rest = %v, want 4", got)
+	}
+
+	var busyDuringTask, utilDuringTask float64
+	_, err := c.Submit(JobSpec{
+		Name: "job", Nodes: 2, Walltime: 100,
+		OnStart: func(a *Allocation) {
+			if _, err := a.RunTask("t", a.Nodes()[0], 10, func(ok bool) {
+				a.Release()
+			}); err != nil {
+				t.Error(err)
+			}
+			busyDuringTask = gauge("hpcsim.busy_nodes")
+			utilDuringTask = gauge("hpcsim.node_utilization")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge("hpcsim.queued_jobs"); got != 1 {
+		t.Fatalf("queued_jobs after submit = %v, want 1", got)
+	}
+	sim.Run()
+
+	if busyDuringTask != 1 {
+		t.Errorf("busy_nodes during task = %v, want 1", busyDuringTask)
+	}
+	if utilDuringTask != 0.25 {
+		t.Errorf("node_utilization during task = %v, want 0.25", utilDuringTask)
+	}
+	if got := gauge("hpcsim.free_nodes"); got != 4 {
+		t.Errorf("free_nodes after release = %v, want 4", got)
+	}
+	if got := gauge("hpcsim.queued_jobs"); got != 0 {
+		t.Errorf("queued_jobs after release = %v, want 0", got)
+	}
+	if got := reg.Counter("hpcsim.jobs_completed_total").Value(); got != 1 {
+		t.Errorf("jobs_completed_total = %d, want 1", got)
+	}
+}
+
+// TestSimClockTraces checks that a tracer driven by SimClock stamps spans in
+// virtual time: a span open across 250 simulated seconds reports a 250s
+// duration regardless of wall time.
+func TestSimClockTraces(t *testing.T) {
+	sim := New(7)
+	tr := telemetry.NewTracer()
+	tr.SetClock(SimClock(sim))
+
+	var span *telemetry.Span
+	sim.After(50, func() {
+		_, span = tr.Start(context.Background(), "sim.work")
+	})
+	sim.After(300, func() {
+		span.End()
+	})
+	sim.Run()
+
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if want := time.Unix(50, 0); !s.Start.Equal(want) {
+		t.Errorf("span start = %v, want %v", s.Start, want)
+	}
+	if got := s.Duration(); got != 250*time.Second {
+		t.Errorf("span duration = %v, want 250s (virtual)", got)
+	}
+}

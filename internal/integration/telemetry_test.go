@@ -1,0 +1,166 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairflow/internal/cas"
+	"fairflow/internal/tabular"
+	"fairflow/internal/telemetry"
+)
+
+// TestGWASPasteTelemetryEndToEnd is the PR's acceptance flow: a GWAS-shaped
+// paste campaign with the action cache and full telemetry, run cold then
+// warm. The Prometheus rendering must carry the cas hit/miss counters and
+// the paste task histograms, and the span dump must nest campaign → run →
+// task by parent IDs — the same structure the Chrome trace export renders.
+func TestGWASPasteTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cells := make([]string, 50)
+	for i := range cells {
+		cells[i] = "1"
+	}
+	inputs := make([]string, 12)
+	for i := range inputs {
+		inputs[i] = filepath.Join(dir, fmt.Sprintf("col%02d.txt", i))
+		if err := tabular.WriteColumn(inputs[i], cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store, err := cas.Open(filepath.Join(dir, "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := cas.OpenActionCache(filepath.Join(dir, "cas", "actions.json"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	cache.SetMetrics(reg)
+
+	runCampaign := func(tag string) {
+		t.Helper()
+		plan, err := tabular.PlanPaste(inputs, filepath.Join(dir, tag+"_out.tsv"), filepath.Join(dir, tag+"_work"), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, campaignSpan := tracer.Start(context.Background(), "paste.campaign",
+			telemetry.String("campaign", "gwas-"+tag))
+		ctx, runSpan := tracer.Start(ctx, "paste.run")
+		if _, err := plan.Execute(ctx, tabular.ExecOptions{
+			Parallelism: 4, Cache: cache, Tracer: tracer, Metrics: reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		runSpan.End()
+		campaignSpan.End()
+	}
+	runCampaign("cold")
+	runCampaign("warm")
+
+	// Prometheus rendering: cas hit/miss plus the paste histograms.
+	var prom bytes.Buffer
+	if err := telemetry.WritePrometheus(&prom, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"cas_action_hits_total",
+		"cas_action_misses_total",
+		"paste_task_exec_seconds_bucket",
+		"paste_task_queue_wait_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %s", want)
+		}
+	}
+	if reg.Counter("cas.action_misses_total").Value() == 0 {
+		t.Error("cold run recorded no cache misses")
+	}
+	if reg.Counter("cas.action_hits_total").Value() == 0 {
+		t.Error("warm run recorded no cache hits")
+	}
+	if got := reg.Counter("paste.tasks_cached_total").Value(); got == 0 {
+		t.Error("warm run executed every task — nothing hit the cache")
+	}
+
+	// Span nesting: every task parents to a run, every run to a campaign,
+	// campaigns are roots.
+	dump := telemetry.Collect(reg, tracer)
+	byID := map[int64]telemetry.SpanData{}
+	for _, s := range dump.Spans {
+		byID[s.ID] = s
+	}
+	var tasks, runs, campaigns int
+	for _, s := range dump.Spans {
+		switch s.Name {
+		case "paste.task":
+			tasks++
+			if parent, ok := byID[s.Parent]; !ok || parent.Name != "paste.run" {
+				t.Errorf("task span %d does not nest under a run span", s.ID)
+			}
+		case "paste.run":
+			runs++
+			if parent, ok := byID[s.Parent]; !ok || parent.Name != "paste.campaign" {
+				t.Errorf("run span %d does not nest under a campaign span", s.ID)
+			}
+		case "paste.campaign":
+			campaigns++
+			if s.Parent != 0 {
+				t.Errorf("campaign span %d is not a root (parent %d)", s.ID, s.Parent)
+			}
+		}
+	}
+	if campaigns != 2 || runs != 2 || tasks == 0 {
+		t.Errorf("span counts: %d campaigns, %d runs, %d tasks", campaigns, runs, tasks)
+	}
+
+	// The Chrome trace export of the same spans must be valid trace_event
+	// JSON carrying all three levels.
+	var chrome bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&chrome, dump.Spans); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"paste.campaign", "paste.run", "paste.task"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing %s events", want)
+		}
+	}
+
+	// Filtering by campaign keeps exactly one tree.
+	cold := telemetry.FilterByRoot(dump.Spans, func(root telemetry.SpanData) bool {
+		return root.Attr("campaign") == "gwas-cold"
+	})
+	coldCampaigns := 0
+	for _, s := range cold {
+		if s.Name == "paste.campaign" {
+			coldCampaigns++
+		}
+	}
+	if coldCampaigns != 1 {
+		t.Errorf("FilterByRoot kept %d campaigns, want 1", coldCampaigns)
+	}
+}

@@ -67,3 +67,39 @@ func TestStragglerReport(t *testing.T) {
 		t.Fatal("empty selection should return nil")
 	}
 }
+
+// TestQuantileDurEdges pins the interpolated quantile at its edges: q=0 is
+// the minimum, q=1 the maximum, and a single sample is every quantile.
+func TestQuantileDurEdges(t *testing.T) {
+	sorted := []time.Duration{2 * time.Second, 5 * time.Second, 30 * time.Second}
+	if got := quantileDur(sorted, 0); got != 2*time.Second {
+		t.Errorf("q=0: got %v, want 2s", got)
+	}
+	if got := quantileDur(sorted, 1); got != 30*time.Second {
+		t.Errorf("q=1: got %v, want 30s", got)
+	}
+	single := []time.Duration{7 * time.Second}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := quantileDur(single, q); got != 7*time.Second {
+			t.Errorf("single sample q=%v: got %v, want 7s", q, got)
+		}
+	}
+}
+
+// TestStragglerReportAllEqual checks the degenerate campaign where every run
+// takes exactly the same time: nothing exceeds factor × median, so the
+// report must be empty for any factor ≥ 1.
+func TestStragglerReportAllEqual(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(rec(fmt.Sprintf("eq%d", i), "irf", "camp", StatusSucceeded,
+			t0.Add(time.Duration(i)*time.Minute), 10*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, factor := range []float64{1, 1.5, 2} {
+		if got := s.StragglerReport(Query{CampaignID: "camp"}, factor); len(got) != 0 {
+			t.Errorf("factor %v: %d stragglers reported among equal durations", factor, len(got))
+		}
+	}
+}

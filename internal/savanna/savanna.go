@@ -14,6 +14,7 @@
 package savanna
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"fairflow/internal/cas"
 	"fairflow/internal/cheetah"
 	"fairflow/internal/provenance"
+	"fairflow/internal/telemetry"
 )
 
 // Executor runs one campaign run in-process.
@@ -96,10 +98,38 @@ type LocalEngine struct {
 	// skipped entirely, and successful executions are recorded for the
 	// next campaign re-run or resume.
 	Memo *Memo
+	// Tracer, when non-nil, records one "savanna.campaign" span per
+	// RunAll/RunSets call and one "savanna.run" span per run under it
+	// (annotated cached/failed), using the tracer's clock.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the engine instruments:
+	// savanna.runs_executed_total / runs_cached_total / runs_failed_total
+	// and the savanna.run_seconds histogram. Both telemetry fields left nil
+	// cost the engine only nil checks.
+	Metrics *telemetry.Registry
 
 	// attempt numbers provenance records so resubmitted runs get fresh IDs
 	// (provenance is append-only; each attempt is its own record).
 	attempt int64
+
+	// telOnce resolves the instruments once so executeOne never touches the
+	// registry lock.
+	telOnce   sync.Once
+	mExecuted *telemetry.Counter
+	mCached   *telemetry.Counter
+	mFailed   *telemetry.Counter
+	hRunSecs  *telemetry.Histogram
+}
+
+// telemetryInit resolves the engine's instruments (no-ops when Metrics is
+// nil: nil instruments swallow updates).
+func (e *LocalEngine) telemetryInit() {
+	e.telOnce.Do(func() {
+		e.mExecuted = e.Metrics.Counter("savanna.runs_executed_total")
+		e.mCached = e.Metrics.Counter("savanna.runs_cached_total")
+		e.mFailed = e.Metrics.Counter("savanna.runs_failed_total")
+		e.hRunSecs = e.Metrics.Histogram("savanna.run_seconds", nil)
+	})
 }
 
 // validate checks the engine configuration.
@@ -120,6 +150,11 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 	if err := e.validate(); err != nil {
 		return nil, err
 	}
+	e.telemetryInit()
+	ctx, campaignSpan := e.Tracer.Start(context.Background(), "savanna.campaign",
+		telemetry.String("campaign", campaign),
+		telemetry.String("discipline", "dynamic"),
+		telemetry.Int("runs", len(runs)))
 	results := make([]RunResult, len(runs))
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -128,7 +163,7 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = e.executeOne(campaign, runs[i])
+				results[i] = e.executeOne(ctx, campaign, runs[i])
 			}
 		}()
 	}
@@ -137,6 +172,7 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 	}
 	close(work)
 	wg.Wait()
+	campaignSpan.End()
 	return results, nil
 }
 
@@ -150,6 +186,11 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 	if setSize < 1 {
 		return nil, fmt.Errorf("savanna: set size must be ≥1")
 	}
+	e.telemetryInit()
+	ctx, campaignSpan := e.Tracer.Start(context.Background(), "savanna.campaign",
+		telemetry.String("campaign", campaign),
+		telemetry.String("discipline", "set-synchronized"),
+		telemetry.Int("runs", len(runs)))
 	results := make([]RunResult, len(runs))
 	for lo := 0; lo < len(runs); lo += setSize {
 		hi := lo + setSize
@@ -165,16 +206,18 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i] = e.executeOne(campaign, runs[i])
+				results[i] = e.executeOne(ctx, campaign, runs[i])
 			}()
 		}
 		wg.Wait() // the set barrier
 	}
+	campaignSpan.End()
 	return results, nil
 }
 
-func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
+func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheetah.Run) RunResult {
 	start := time.Now()
+	_, span := e.Tracer.Start(ctx, "savanna.run", telemetry.String("run", run.ID))
 
 	// Memoized skip path: an unchanged (component, sweep point, inputs)
 	// recipe means this run's outputs already exist — record it succeeded
@@ -186,6 +229,9 @@ func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
 				cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunSucceeded)
 			}
 			e.appendProvenance(campaign, run, provenance.StatusSucceeded, elapsed, cached, true)
+			e.mCached.Inc()
+			e.hRunSecs.Observe(elapsed.Seconds())
+			span.End(telemetry.Bool("cached", true))
 			return RunResult{Run: run, Status: provenance.StatusSucceeded, Seconds: elapsed.Seconds(), Cached: true}
 		}
 	}
@@ -215,6 +261,13 @@ func (e *LocalEngine) executeOne(campaign string, run cheetah.Run) RunResult {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, dirStatus)
 	}
 	e.appendProvenance(campaign, run, status, elapsed, recorded, false)
+	if err != nil {
+		e.mFailed.Inc()
+	} else {
+		e.mExecuted.Inc()
+	}
+	e.hRunSecs.Observe(elapsed.Seconds())
+	span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)))
 	return res
 }
 

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"fairflow/internal/telemetry"
 )
 
 // PunctuationOp enumerates control-channel operations. Punctuation signals
@@ -58,13 +60,20 @@ type VirtualQueueInfo struct {
 	Forwarded int64
 }
 
-// virtualQueue pairs a policy with delivery state.
+// virtualQueue pairs a policy with delivery state. The telemetry counters
+// live on the queue itself (resolved once at install or SetMetrics time) so
+// the per-item ingest path never takes the registry lock; nil counters
+// swallow updates.
 type virtualQueue struct {
 	name      string
 	policy    Policy
 	active    bool
 	admitted  int64
 	forwarded int64
+
+	mAdmitted  *telemetry.Counter
+	mForwarded *telemetry.Counter
+	mAbsorbed  *telemetry.Counter
 }
 
 // Scheduler is the data-scheduling component of the collection/selection/
@@ -85,12 +94,48 @@ type Scheduler struct {
 	consumers []Consumer
 	// marks counts OpMark punctuations seen (group boundaries).
 	marks int64
+
+	// metrics, when non-nil, labels per-queue counters; queues installed
+	// after SetMetrics are wired automatically.
+	metrics *telemetry.Registry
+	mMarks  *telemetry.Counter
 }
 
 // NewScheduler returns a scheduler with no queues; a freshly generated
 // deployment typically installs ForwardAll as its initial policy.
 func NewScheduler() *Scheduler {
 	return &Scheduler{queues: map[string]*virtualQueue{}}
+}
+
+// SetMetrics registers the scheduler's instruments in reg and starts feeding
+// them: stream.items_admitted_total / items_forwarded_total /
+// items_absorbed_total, labelled {queue, policy} per virtual queue, plus
+// stream.marks_total. Absorbed counts items a policy held back (or dropped)
+// at admission; a later flush/select release counts them forwarded. Queues
+// already installed are wired retroactively; future installs wire
+// automatically. A nil registry is a no-op.
+func (s *Scheduler) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+	s.mMarks = reg.Counter("stream.marks_total")
+	for _, q := range s.queues {
+		s.wireQueue(q)
+	}
+}
+
+// wireQueue resolves one queue's counters; callers hold mu.
+func (s *Scheduler) wireQueue(q *virtualQueue) {
+	if s.metrics == nil {
+		return
+	}
+	labels := []string{"queue", q.name, "policy", q.policy.Name()}
+	q.mAdmitted = s.metrics.Counter("stream.items_admitted_total", labels...)
+	q.mForwarded = s.metrics.Counter("stream.items_forwarded_total", labels...)
+	q.mAbsorbed = s.metrics.Counter("stream.items_absorbed_total", labels...)
 }
 
 // Subscribe registers a consumer for all queues' forwarded items. The
@@ -129,13 +174,17 @@ func (s *Scheduler) Ingest(it Item) {
 			continue
 		}
 		q.admitted++
+		q.mAdmitted.Inc()
 		if out := q.policy.Admit(it); len(out) > 0 {
 			q.forwarded += int64(len(out))
+			q.mForwarded.Add(int64(len(out)))
 			if first.items == nil {
 				first = delivery{name, out}
 			} else {
 				spill = append(spill, delivery{name, out})
 			}
+		} else {
+			q.mAbsorbed.Inc()
 		}
 	}
 	consumers := s.consumers // copy-on-write: safe to use after unlock
@@ -169,6 +218,7 @@ func (s *Scheduler) Punctuate(cmd Punctuation) error {
 	switch cmd.Op {
 	case OpMark:
 		s.marks++
+		s.mMarks.Inc()
 		s.mu.Unlock()
 		return nil
 	case OpInstall:
@@ -180,7 +230,9 @@ func (s *Scheduler) Punctuate(cmd Punctuation) error {
 			s.mu.Unlock()
 			return fmt.Errorf("stream: queue %q already installed", cmd.Queue)
 		}
-		s.queues[cmd.Queue] = &virtualQueue{name: cmd.Queue, policy: cmd.Policy, active: true}
+		q := &virtualQueue{name: cmd.Queue, policy: cmd.Policy, active: true}
+		s.wireQueue(q)
+		s.queues[cmd.Queue] = q
 		s.order = append(s.order, cmd.Queue)
 		s.mu.Unlock()
 		return nil
@@ -199,6 +251,7 @@ func (s *Scheduler) Punctuate(cmd Punctuation) error {
 		case OpRemove:
 			released = q.policy.Flush()
 			q.forwarded += int64(len(released))
+			q.mForwarded.Add(int64(len(released)))
 			delete(s.queues, cmd.Queue)
 			for i, n := range s.order {
 				if n == cmd.Queue {
@@ -209,9 +262,11 @@ func (s *Scheduler) Punctuate(cmd Punctuation) error {
 		case OpFlush:
 			released = q.policy.Flush()
 			q.forwarded += int64(len(released))
+			q.mForwarded.Add(int64(len(released)))
 		case OpSelect:
 			released = q.policy.Control(cmd)
 			q.forwarded += int64(len(released))
+			q.mForwarded.Add(int64(len(released)))
 		default:
 			s.mu.Unlock()
 			return fmt.Errorf("stream: unknown punctuation op %q", cmd.Op)

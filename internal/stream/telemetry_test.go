@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"testing"
+
+	"fairflow/internal/telemetry"
+)
+
+// TestSchedulerTelemetry checks the per-queue counters: a queue installed
+// before SetMetrics is wired retroactively, one installed after is wired at
+// install time, and admitted/forwarded/absorbed reflect each policy's
+// behaviour.
+func TestSchedulerTelemetry(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Install("all", ForwardAll{}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	s.SetMetrics(reg)
+	sample, err := NewSampleEveryN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("sampled", sample); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int64(1); i <= 4; i++ {
+		s.Ingest(intItem(t, i))
+	}
+	if err := s.Punctuate(Punctuation{Op: OpMark, Label: "boundary"}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name, queue, policy string, want int64) {
+		t.Helper()
+		got := reg.Counter(name, "queue", queue, "policy", policy).Value()
+		if got != want {
+			t.Errorf("%s{queue=%s} = %d, want %d", name, queue, got, want)
+		}
+	}
+	check("stream.items_admitted_total", "all", "forward-all", 4)
+	check("stream.items_forwarded_total", "all", "forward-all", 4)
+	check("stream.items_absorbed_total", "all", "forward-all", 0)
+	check("stream.items_admitted_total", "sampled", "sample-every(2)", 4)
+	check("stream.items_forwarded_total", "sampled", "sample-every(2)", 2)
+	check("stream.items_absorbed_total", "sampled", "sample-every(2)", 2)
+	if got := reg.Counter("stream.marks_total").Value(); got != 1 {
+		t.Errorf("stream.marks_total = %d, want 1", got)
+	}
+}
+
+// TestSchedulerTelemetryFlushCountsForwarded checks that items a buffering
+// policy absorbed at admission count as forwarded once a flush releases
+// them downstream.
+func TestSchedulerTelemetryFlushCountsForwarded(t *testing.T) {
+	s := NewScheduler()
+	reg := telemetry.NewRegistry()
+	s.SetMetrics(reg)
+	ds, err := NewDirectSelection(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("held", ds); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		s.Ingest(intItem(t, i))
+	}
+	fwd := func() int64 {
+		return reg.Counter("stream.items_forwarded_total", "queue", "held", "policy", ds.Name()).Value()
+	}
+	if got := fwd(); got != 0 {
+		t.Fatalf("forwarded before flush = %d, want 0", got)
+	}
+	if err := s.Punctuate(Punctuation{Op: OpFlush, Queue: "held"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fwd(); got != 3 {
+		t.Errorf("forwarded after flush = %d, want 3", got)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"fairflow/internal/cas"
+	"fairflow/internal/telemetry"
 )
 
 // PasteTask is one paste invocation inside a plan: sources → output.
@@ -98,6 +100,14 @@ type ExecOptions struct {
 	Cache *cas.ActionCache
 	// Stats, when non-nil, receives the executed/cached task breakdown.
 	Stats *ExecStats
+	// Tracer, when non-nil, records one span per task (named "paste.task",
+	// child of ctx's span — so a campaign → run context nests the tasks
+	// under it) stamped with output, phase, cached/rows outcome.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the paste instruments: executed/
+	// cached/failed task counters and exec + queue-wait histograms. Both
+	// telemetry fields left nil cost the executor only nil checks.
+	Metrics *telemetry.Registry
 
 	// testTaskStart, when set (tests only), runs just before task i's paste.
 	testTaskStart func(i int)
@@ -141,6 +151,45 @@ func taskRecipe(opts Options, srcDigests []cas.Digest) cas.Recipe {
 			"ragged": strconv.FormatBool(opts.AllowRagged),
 		},
 		Inputs: srcDigests,
+	}
+}
+
+// execTelemetry carries the pre-resolved instruments for one Execute call so
+// the worker loop never touches the registry's lock. It is nil when both
+// telemetry fields are unset — the off path.
+type execTelemetry struct {
+	tracer     *telemetry.Tracer
+	execHist   *telemetry.Histogram // paste.task_exec_seconds{cached="false"}
+	cachedHist *telemetry.Histogram // paste.task_exec_seconds{cached="true"}
+	waitHist   *telemetry.Histogram // paste.task_queue_wait_seconds
+	executed   *telemetry.Counter
+	cached     *telemetry.Counter
+	failed     *telemetry.Counter
+	// readyAt[i] is when task i entered the ready queue; written before the
+	// channel send, read after the receive (happens-before via the channel).
+	readyAt []time.Time
+}
+
+func newExecTelemetry(opts ExecOptions, n int) *execTelemetry {
+	if opts.Tracer == nil && opts.Metrics == nil {
+		return nil
+	}
+	return &execTelemetry{
+		tracer:     opts.Tracer,
+		execHist:   opts.Metrics.Histogram("paste.task_exec_seconds", nil, "cached", "false"),
+		cachedHist: opts.Metrics.Histogram("paste.task_exec_seconds", nil, "cached", "true"),
+		waitHist:   opts.Metrics.Histogram("paste.task_queue_wait_seconds", nil),
+		executed:   opts.Metrics.Counter("paste.tasks_executed_total"),
+		cached:     opts.Metrics.Counter("paste.tasks_cached_total"),
+		failed:     opts.Metrics.Counter("paste.tasks_failed_total"),
+		readyAt:    make([]time.Time, n),
+	}
+}
+
+// noteReady stamps task i's enqueue time (call before sending i to ready).
+func (t *execTelemetry) noteReady(i int) {
+	if t != nil {
+		t.readyAt[i] = t.tracer.Now()
 	}
 }
 
@@ -208,10 +257,13 @@ func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
 		}
 	}
 
+	tel := newExecTelemetry(opts, n)
+
 	ready := make(chan int, n)
 	enqueued := 0
 	for i := range p.Tasks {
 		if remaining[i] == 0 {
+			tel.noteReady(i)
 			ready <- i
 			enqueued++
 		}
@@ -347,8 +399,36 @@ func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
 					err    error
 				)
 				launched := ctx.Err() == nil
+				var span *telemetry.Span
+				var execStart time.Time
+				if tel != nil {
+					execStart = tel.tracer.Now()
+					tel.waitHist.Observe(execStart.Sub(tel.readyAt[i]).Seconds())
+					if launched {
+						_, span = tel.tracer.Start(ctx, "paste.task",
+							telemetry.String("output", p.Tasks[i].Output),
+							telemetry.Int("phase", p.Tasks[i].Phase),
+							telemetry.Int("sources", len(p.Tasks[i].Sources)))
+					}
+				}
 				if launched {
 					rows, out, cached, err = runTask(i)
+				}
+				if tel != nil && launched {
+					elapsed := tel.tracer.Now().Sub(execStart).Seconds()
+					switch {
+					case err != nil:
+						tel.failed.Inc()
+						span.End(telemetry.Bool("error", true))
+					case cached:
+						tel.cached.Inc()
+						tel.cachedHist.Observe(elapsed)
+						span.End(telemetry.Bool("cached", true), telemetry.Int("rows", rows))
+					default:
+						tel.executed.Inc()
+						tel.execHist.Observe(elapsed)
+						span.End(telemetry.Bool("cached", false), telemetry.Int("rows", rows))
+					}
 				}
 				task := p.Tasks[i]
 
@@ -373,6 +453,7 @@ func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
 					for _, j := range dependents[i] {
 						remaining[j]--
 						if remaining[j] == 0 {
+							tel.noteReady(j)
 							ready <- j
 							enqueued++
 						}

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dump is the serialisable form of one process's telemetry: a metrics
+// snapshot plus every finished span. It is the interchange format between a
+// telemetry-enabled run and the offline renderers (fairctl metrics, fairctl
+// trace, the debug HTTP endpoint).
+type Dump struct {
+	Metrics MetricsSnapshot `json:"metrics"`
+	Spans   []SpanData      `json:"spans,omitempty"`
+	// DroppedSpans counts spans lost to the tracer's buffer cap — non-zero
+	// means the trace is a prefix, not the whole campaign.
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+}
+
+// Collect snapshots a registry and a tracer into a Dump. Either may be nil.
+func Collect(reg *Registry, tr *Tracer) Dump {
+	return Dump{Metrics: reg.Snapshot(), Spans: tr.Snapshot(), DroppedSpans: tr.Dropped()}
+}
+
+// WriteJSON serialises the dump as indented JSON.
+func (d Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a Dump previously written with WriteJSON.
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("telemetry: parsing dump: %w", err)
+	}
+	return d, nil
+}
+
+// promName maps a "subsystem.metric" name to the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders a label map (plus optional extra pair) as {k="v",...};
+// empty input renders as "".
+func promLabels(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promName(k), promEscape(labels[k]))
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraK, promEscape(extraV))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (histograms with cumulative _bucket/_sum/_count series).
+func WritePrometheus(w io.Writer, snap MetricsSnapshot) error {
+	typed := map[string]bool{}
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		writeType(name, "counter")
+		p("%s%s %d\n", name, promLabels(c.Labels, "", ""), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		writeType(name, "gauge")
+		p("%s%s %g\n", name, promLabels(g.Labels, "", ""), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		writeType(name, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s_bucket%s %d\n", name, promLabels(h.Labels, "le", trimFloat(bound)), cum)
+		}
+		cum += h.Inf
+		p("%s_bucket%s %d\n", name, promLabels(h.Labels, "le", "+Inf"), cum)
+		p("%s_sum%s %g\n", name, promLabels(h.Labels, "", ""), h.Sum)
+		p("%s_count%s %d\n", name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	return err
+}
+
+// trimFloat formats a bucket bound the way Prometheus expects ("0.005", not
+// "5e-03").
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// chromeEvent is one trace_event entry ("X" complete events only).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format of the trace_event spec.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// laneInterval is an occupied [start, end] slot on one export lane.
+type laneInterval struct{ start, end int64 }
+
+// compatible reports whether two intervals may share a lane: disjoint, or
+// one strictly containing the other (containment is how the trace viewer
+// nests slices; partial overlap — or identical intervals, which the viewer
+// cannot order — would corrupt its stack reconstruction).
+func compatible(a, b laneInterval) bool {
+	if a.end <= b.start || b.end <= a.start {
+		return true // disjoint
+	}
+	if a.start <= b.start && b.end <= a.end && (a.start < b.start || b.end < a.end) {
+		return true // a strictly contains b
+	}
+	return b.start <= a.start && a.end <= b.end && (b.start < a.start || a.end < b.end)
+}
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto. Spans are emitted as complete ("X") events;
+// lanes (tids) are assigned so a child span shares its parent's lane
+// whenever their intervals nest cleanly — rendering the campaign → run →
+// task hierarchy as a flamegraph — and concurrent siblings spill onto fresh
+// lanes. Timestamps are microseconds relative to the earliest span, so
+// virtual-time (hpcsim) traces render identically to wall-time ones.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	if len(spans) == 0 {
+		return json.NewEncoder(w).Encode(chromeFile{TraceEvents: []chromeEvent{}})
+	}
+	// Order parents before contained children: by start ascending, longer
+	// first on ties.
+	ordered := append([]SpanData(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if !ordered[i].Start.Equal(ordered[j].Start) {
+			return ordered[i].Start.Before(ordered[j].Start)
+		}
+		return ordered[i].Duration() > ordered[j].Duration()
+	})
+	epoch := ordered[0].Start
+	micros := func(d SpanData) laneInterval {
+		start := d.Start.Sub(epoch).Microseconds()
+		end := d.End.Sub(epoch).Microseconds()
+		if end <= start {
+			end = start + 1 // zero-length spans still render
+		}
+		return laneInterval{start, end}
+	}
+
+	lanes := [][]laneInterval{}
+	spanLane := map[int64]int{}
+	canPlace := func(lane int, iv laneInterval) bool {
+		for _, got := range lanes[lane] {
+			if !compatible(got, iv) {
+				return false
+			}
+		}
+		return true
+	}
+	place := func(d SpanData) int {
+		iv := micros(d)
+		if parentLane, ok := spanLane[d.Parent]; ok && canPlace(parentLane, iv) {
+			lanes[parentLane] = append(lanes[parentLane], iv)
+			return parentLane
+		}
+		for lane := range lanes {
+			if canPlace(lane, iv) {
+				lanes[lane] = append(lanes[lane], iv)
+				return lane
+			}
+		}
+		lanes = append(lanes, []laneInterval{iv})
+		return len(lanes) - 1
+	}
+
+	events := make([]chromeEvent, 0, len(ordered))
+	for _, d := range ordered {
+		lane := place(d)
+		spanLane[d.ID] = lane
+		iv := micros(d)
+		ev := chromeEvent{
+			Name: d.Name, Cat: "span", Ph: "X",
+			Ts: iv.start, Dur: iv.end - iv.start,
+			Pid: 1, Tid: lane,
+		}
+		if len(d.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(d.Attrs))
+			for _, a := range d.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: events})
+}
+
+// FilterByRoot returns the spans whose root ancestor satisfies keep —
+// e.g. selecting one campaign's subtree out of a multi-campaign dump.
+// Spans with a missing parent are treated as roots of their fragment.
+func FilterByRoot(spans []SpanData, keep func(root SpanData) bool) []SpanData {
+	byID := make(map[int64]SpanData, len(spans))
+	for _, d := range spans {
+		byID[d.ID] = d
+	}
+	rootOf := make(map[int64]int64, len(spans))
+	findRoot := func(id int64) int64 {
+		var chain []int64
+		r := id
+		// Step cap guards against parent cycles in hand-edited dumps.
+		for steps := 0; steps <= len(spans); steps++ {
+			if memo, ok := rootOf[r]; ok {
+				r = memo
+				break
+			}
+			d := byID[r]
+			if d.Parent == 0 {
+				break
+			}
+			if _, ok := byID[d.Parent]; !ok {
+				break
+			}
+			chain = append(chain, r)
+			r = d.Parent
+		}
+		for _, c := range chain {
+			rootOf[c] = r
+		}
+		rootOf[id] = r
+		return r
+	}
+	var out []SpanData
+	for _, d := range spans {
+		if keep(byID[findRoot(d.ID)]) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cas.action_hits").Add(7)
+	r.Counter("stream.forwarded", "queue", "q\"1").Add(3)
+	r.Gauge("hpcsim.free_nodes").Set(12)
+	h := r.Histogram("paste.task_exec_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE cas_action_hits counter",
+		"cas_action_hits 7",
+		`stream_forwarded{queue="q\"1"} 3`,
+		"# TYPE hpcsim_free_nodes gauge",
+		"hpcsim_free_nodes 12",
+		"# TYPE paste_task_exec_seconds histogram",
+		`paste_task_exec_seconds_bucket{le="0.1"} 1`,
+		`paste_task_exec_seconds_bucket{le="1"} 2`,    // cumulative
+		`paste_task_exec_seconds_bucket{le="+Inf"} 3`, // cumulative incl. overflow
+		"paste_task_exec_seconds_sum 5.55",
+		"paste_task_exec_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b", "k", "v").Add(2)
+	tr := NewTracer()
+	ctx, root := tr.Start(context.Background(), "root", String("campaign", "c"))
+	_, child := tr.Start(ctx, "child")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := Collect(r, tr).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics.Counters) != 1 || got.Metrics.Counters[0].Value != 2 {
+		t.Fatalf("counters did not round-trip: %+v", got.Metrics.Counters)
+	}
+	if got.Metrics.Counters[0].Labels["k"] != "v" {
+		t.Fatal("labels did not round-trip")
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatal("span hierarchy did not round-trip")
+	}
+}
+
+// traceEvent mirrors the exporter's output for decoding in tests.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []traceEvent {
+	t.Helper()
+	var f struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return f.TraceEvents
+}
+
+func TestChromeTraceNesting(t *testing.T) {
+	tr := NewTracer()
+	base := time.Unix(1000, 0)
+	now := base
+	tr.SetClock(ClockFunc(func() time.Time { return now }))
+
+	at := func(sec int) { now = base.Add(time.Duration(sec) * time.Second) }
+	ctx, campaign := tr.Start(context.Background(), "campaign")
+	at(1)
+	rctx, run := tr.Start(ctx, "run")
+	at(2)
+	_, taskA := tr.Start(rctx, "task-a") // concurrent with task-b
+	_, taskB := tr.Start(rctx, "task-b")
+	at(5)
+	taskA.End()
+	taskB.End()
+	at(8)
+	run.End()
+	at(10)
+	campaign.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, &buf)
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byName := map[string]traceEvent{}
+	for _, e := range events {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		byName[e.Name] = e
+	}
+	contains := func(outer, inner traceEvent) bool {
+		return outer.Ts <= inner.Ts && inner.Ts+inner.Dur <= outer.Ts+outer.Dur
+	}
+	// The hierarchy must render as nesting: campaign ⊇ run ⊇ tasks, with
+	// campaign and run on the same lane (flamegraph stack)…
+	if byName["run"].Tid != byName["campaign"].Tid {
+		t.Fatal("run should share the campaign's lane")
+	}
+	if !contains(byName["campaign"], byName["run"]) {
+		t.Fatal("run's interval must nest inside campaign's")
+	}
+	for _, task := range []string{"task-a", "task-b"} {
+		if !contains(byName["run"], byName[task]) {
+			t.Fatalf("%s must nest inside run", task)
+		}
+	}
+	// …and the two concurrent tasks must not share a lane with each other
+	// (identical intervals would corrupt the viewer's slice stack).
+	if byName["task-a"].Tid == byName["task-b"].Tid {
+		t.Fatal("concurrent sibling tasks must land on different lanes")
+	}
+}
+
+func TestChromeTraceVirtualTimeRelative(t *testing.T) {
+	// Virtual-clock spans anchored at the epoch must export small relative
+	// timestamps, not 50-year offsets.
+	spans := []SpanData{
+		{ID: 1, Name: "sim", Start: time.Unix(0, 0), End: time.Unix(3, 0)},
+		{ID: 2, Parent: 1, Name: "job", Start: time.Unix(1, 0), End: time.Unix(2, 0)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, &buf)
+	for _, e := range events {
+		if e.Ts < 0 || e.Ts > 3_000_000 {
+			t.Fatalf("event %q ts=%d not relative to the trace start", e.Name, e.Ts)
+		}
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, &buf); len(events) != 0 {
+		t.Fatalf("empty trace produced %d events", len(events))
+	}
+}
+
+func TestFilterByRoot(t *testing.T) {
+	spans := []SpanData{
+		{ID: 1, Name: "campaign", Attrs: []Attr{String("campaign", "keep")}},
+		{ID: 2, Parent: 1, Name: "run"},
+		{ID: 3, Parent: 2, Name: "task"},
+		{ID: 4, Name: "campaign", Attrs: []Attr{String("campaign", "drop")}},
+		{ID: 5, Parent: 4, Name: "run"},
+	}
+	got := FilterByRoot(spans, func(root SpanData) bool { return root.Attr("campaign") == "keep" })
+	if len(got) != 3 {
+		t.Fatalf("kept %d spans, want 3", len(got))
+	}
+	for _, s := range got {
+		if s.ID > 3 {
+			t.Fatalf("span %d should have been filtered out", s.ID)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the handler tree served at a -debug-addr endpoint:
+//
+//	/metrics         Prometheus text exposition of reg
+//	/telemetry.json  the full Dump (metrics + finished spans) as JSON
+//	/trace.json      the finished spans as Chrome trace_event JSON
+//	/debug/pprof/…   the standard net/http/pprof profiles
+//
+// Either argument may be nil (its endpoints serve empty data).
+func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Collect(reg, tr).WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, tr.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	// Addr is the bound address (useful when the caller asked for :0).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// StartDebugServer binds addr and serves NewDebugMux(reg, tr) in a
+// background goroutine. Callers own the returned server's lifetime.
+func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr)}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}

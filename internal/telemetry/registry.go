@@ -1,0 +1,376 @@
+// Package telemetry is the unified observability layer: a concurrent
+// metrics registry (counters, gauges, fixed-bucket histograms), span-based
+// tracing with context propagation and an injectable clock, and exporters
+// for Prometheus text, JSON snapshots, and Chrome trace_event JSON.
+//
+// It is dependency-free (standard library only) and built so that "off" is
+// genuinely free: every instrument and tracer method is nil-receiver safe,
+// so hot paths hold possibly-nil pointers and pay only a nil check when
+// telemetry is disabled. Metric names follow the "subsystem.metric" scheme
+// (e.g. "cas.action_hits", "paste.task_exec_seconds"); exporters map dots to
+// underscores where the target format requires it.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are safe
+// for concurrent use and safe on a nil receiver (no-op).
+type Counter struct {
+	name   string
+	labels []string // alternating key, value
+	v      atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters are
+// monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float metric. All methods are safe for concurrent use
+// and safe on a nil receiver (no-op).
+type Gauge struct {
+	name   string
+	labels []string
+	bits   atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Observations are counted
+// into the first bucket whose upper bound is ≥ the value; values beyond the
+// last bound land in the implicit +Inf bucket. All methods are safe for
+// concurrent use and safe on a nil receiver (no-op).
+type Histogram struct {
+	name    string
+	labels  []string
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits, CAS-updated
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bounds are few (tens); linear scan beats binary search at this size
+	// and most latency observations land in the first buckets anyway.
+	idx := -1
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (zero on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DurationBuckets are the default histogram bounds for operation latencies,
+// in seconds: 100µs to 5min, roughly logarithmic.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+	}
+}
+
+// Registry holds named instruments. Lookup (Counter/Gauge/Histogram) is
+// meant for wiring time — hot paths should hold the returned pointer rather
+// than re-resolving per operation. Snapshot never stops writers: it reads
+// the instruments' atomics in place. A nil *Registry is a valid "telemetry
+// off" registry: every lookup returns nil, and nil instruments no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// instrumentKey canonicalises name plus label pairs; labels are alternating
+// key, value and are sorted by key so ("q", "a", "p", "b") and
+// ("p", "b", "q", "a") resolve to the same instrument.
+func instrumentKey(name string, labels []string) (string, []string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %q has an odd label list (want key, value pairs)", name))
+	}
+	if len(labels) == 0 {
+		return name, nil
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	sorted := make([]string, 0, len(labels))
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		sorted = append(sorted, p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String(), sorted
+}
+
+// Counter returns (registering on first use) the counter with the given name
+// and label pairs. Nil registry → nil counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key, sorted := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: sorted}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge with the given name and
+// label pairs. Nil registry → nil gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key, sorted := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: sorted}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram with the given
+// name, bucket upper bounds (ascending; nil means DurationBuckets) and label
+// pairs. Nil registry → nil histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key, sorted := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[key]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		labels: sorted,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+	r.histograms[key] = h
+	return h
+}
+
+// CounterSnap is one counter's state at snapshot time.
+type CounterSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnap is one gauge's state at snapshot time.
+type GaugeSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnap is one histogram's state at snapshot time. Counts[i] is the
+// (non-cumulative) count for Bounds[i]; Inf holds observations above the
+// last bound.
+type HistogramSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Bounds []float64         `json:"bounds"`
+	Counts []uint64          `json:"counts"`
+	Inf    uint64            `json:"inf"`
+	Sum    float64           `json:"sum"`
+	Count  uint64            `json:"count"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a registry, ordered by name
+// then labels for stable output. Because writers are never stopped, a
+// histogram's Sum/Count/Counts may be mutually inconsistent by a few
+// in-flight observations — fine for monitoring, not for invariants.
+type MetricsSnapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state without blocking writers.
+// A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var snap MetricsSnapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := r.counters[k]
+		snap.Counters = append(snap.Counters, CounterSnap{Name: c.name, Labels: labelMap(c.labels), Value: c.v.Load()})
+	}
+	keys = keys[:0]
+	for k := range r.gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := r.gauges[k]
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: g.name, Labels: labelMap(g.labels), Value: g.Value()})
+	}
+	keys = keys[:0]
+	for k := range r.histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := r.histograms[k]
+		hs := HistogramSnap{
+			Name:   h.name,
+			Labels: labelMap(h.labels),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.bounds)),
+			Inf:    h.inf.Load(),
+			Sum:    h.Sum(),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	r.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.hits")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test.depth")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+}
+
+func TestInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("q.forwarded", "queue", "a", "policy", "fwd")
+	b := r.Counter("q.forwarded", "policy", "fwd", "queue", "a") // same labels, other order
+	if a != b {
+		t.Fatal("label order should not change instrument identity")
+	}
+	c := r.Counter("q.forwarded", "queue", "b", "policy", "fwd")
+	if a == c {
+		t.Fatal("different label values must be different instruments")
+	}
+	if r.Counter("q.forwarded", "queue", "a", "policy", "fwd") != a {
+		t.Fatal("re-lookup must return the registered instrument")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x.y")
+	g := r.Gauge("x.z")
+	h := r.Histogram("x.h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	// 0.05 and 0.1 (inclusive upper bound) → bucket 0; 0.5 → bucket 1;
+	// 5 → bucket 2; 100 → +Inf.
+	wantCounts := []uint64{2, 1, 1}
+	for i, want := range wantCounts {
+		if hs.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, hs.Counts[i], want)
+		}
+	}
+	if hs.Inf != 1 {
+		t.Fatalf("inf bucket = %d, want 1", hs.Inf)
+	}
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if math.Abs(hs.Sum-105.65) > 1e-9 {
+		t.Fatalf("sum = %g, want 105.65", hs.Sum)
+	}
+}
+
+func TestSnapshotConcurrentWithWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t.c")
+	h := r.Histogram("t.h", []float64{1, 2})
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotting must never block or corrupt
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != writers*per {
+		t.Fatalf("counter = %d, want %d", got, writers*per)
+	}
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("histogram count = %d, want %d", got, writers*per)
+	}
+	if got := h.Sum(); math.Abs(got-1.5*writers*per) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", got, 1.5*float64(writers*per))
+	}
+}
+
+func TestSnapshotOrderingStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second")
+	r.Counter("a.first")
+	r.Counter("a.first", "k", "v")
+	snap := r.Snapshot()
+	if len(snap.Counters) != 3 {
+		t.Fatalf("got %d counters, want 3", len(snap.Counters))
+	}
+	if snap.Counters[0].Name != "a.first" || snap.Counters[2].Name != "b.second" {
+		t.Fatalf("snapshot not sorted: %+v", snap.Counters)
+	}
+}
