@@ -15,10 +15,12 @@ import (
 	"fairflow/internal/ckpt"
 	"fairflow/internal/experiments"
 	"fairflow/internal/expt"
+	"fairflow/internal/monitor"
 	"fairflow/internal/savanna"
 	"fairflow/internal/stream"
 	"fairflow/internal/tabular"
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // --- EXP-A / Fig. 2: GWAS paste -----------------------------------------
@@ -106,10 +108,12 @@ func BenchmarkGWASPasteWarmRerun(b *testing.B) {
 // executor: "off" is the default nil-instrument path (its cost over the
 // pre-telemetry executor is a handful of nil checks, required to stay under
 // 2% on the GWAS paste workload), "on" runs with a live registry and tracer
-// so the full instrumentation cost is visible next to it.
+// so the full instrumentation cost is visible next to it, and "monitored"
+// additionally journals every task event into a subscribed campaign monitor
+// — the full observability stack of fairctl watch.
 func BenchmarkGWASPasteTelemetry(b *testing.B) {
 	const files, rows, fanIn = 64, 200, 16
-	run := func(b *testing.B, tr *telemetry.Tracer, reg *telemetry.Registry) {
+	run := func(b *testing.B, tr *telemetry.Tracer, reg *telemetry.Registry, log *eventlog.Log) {
 		dir := b.TempDir()
 		inputs := makeColumns(b, dir, files, rows)
 		b.ResetTimer()
@@ -118,15 +122,22 @@ func BenchmarkGWASPasteTelemetry(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			opts := tabular.ExecOptions{Parallelism: 4, Tracer: tr, Metrics: reg}
+			opts := tabular.ExecOptions{Parallelism: 4, Tracer: tr, Metrics: reg, Events: log}
 			if _, err := plan.Execute(context.Background(), opts); err != nil {
 				b.Fatal(err)
 			}
 			tr.Reset() // nil-safe; bounds the span buffer across iterations
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil, nil) })
-	b.Run("on", func(b *testing.B) { run(b, telemetry.NewTracer(), telemetry.NewRegistry()) })
+	b.Run("off", func(b *testing.B) { run(b, nil, nil, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewTracer(), telemetry.NewRegistry(), nil) })
+	b.Run("monitored", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		log := eventlog.NewLog()
+		log.SetMetrics(reg)
+		monitor.New(monitor.Config{Campaign: "bench"}, reg, log)
+		run(b, telemetry.NewTracer(), reg, log)
+	})
 }
 
 // BenchmarkPasteFanIn is the fan-in ablation: the same 128 files pasted

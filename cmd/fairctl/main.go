@@ -24,6 +24,14 @@
 //	                                  JSON (chrome://tracing, ui.perfetto.dev);
 //	                                  an optional campaign argument keeps only
 //	                                  trees rooted at that campaign
+//	fairctl watch [-addr host:port | -dir campaignDir] [-interval 2s] [campaign]
+//	                                  poll a live campaign (the engine's
+//	                                  /health.json endpoint, or a materialised
+//	                                  campaign directory) and render progress,
+//	                                  stragglers, stalls and alerts until done
+//	fairctl health -f dump.json [-rule 'name: metric > x']... [-format text|json]
+//	                                  replay a dump's event journal through the
+//	                                  campaign monitor; exit 3 if any alert fires
 package main
 
 import (
@@ -120,6 +128,10 @@ func main() {
 			fatal(fmt.Errorf("trace needs -f"))
 		}
 		traceCmd(*file, *out, fs.Arg(0))
+	case "watch":
+		watchCmd(os.Args[2:])
+	case "health":
+		healthCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -281,7 +293,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health> [flags]")
 	os.Exit(2)
 }
 

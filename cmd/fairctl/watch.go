@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/monitor"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// ruleFlags collects repeated -rule flags.
+type ruleFlags []string
+
+func (r *ruleFlags) String() string { return strings.Join(*r, "; ") }
+
+func (r *ruleFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// watchCmd polls a live campaign and renders its health until it completes:
+// either an engine's /health.json debug endpoint (-addr) or a materialised
+// campaign directory (-dir).
+func watchCmd(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "", "debug endpoint (host:port or URL) serving /health.json")
+	dir := fs.String("dir", "", "materialised campaign directory (cheetah schema)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	polls := fs.Int("n", 0, "stop after this many polls (0 = until the campaign completes)")
+	noClear := fs.Bool("no-clear", false, "append renders instead of redrawing in place")
+	fs.Parse(args)
+	campaign := fs.Arg(0)
+	if (*addr == "") == (*dir == "") {
+		fatal(fmt.Errorf("watch needs exactly one of -addr or -dir"))
+	}
+
+	url := *addr
+	if url != "" && !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/health.json"
+
+	for i := 0; *polls == 0 || i < *polls; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		var h monitor.CampaignHealth
+		var done bool
+		if *addr != "" {
+			var err error
+			if h, err = fetchHealth(url); err != nil {
+				fatal(err)
+			}
+			done = h.TotalRuns > 0 && h.Completed >= h.TotalRuns
+		} else {
+			sum, err := cheetah.Status(*dir)
+			if err != nil {
+				fatal(err)
+			}
+			h = dirHealth(campaign, sum)
+			done = sum.Done()
+		}
+		if campaign != "" && h.Campaign != "" && h.Campaign != campaign {
+			fatal(fmt.Errorf("watch: endpoint reports campaign %q, not %q", h.Campaign, campaign))
+		}
+		if !*noClear && i > 0 {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		monitor.RenderText(os.Stdout, h)
+		if done {
+			return
+		}
+	}
+}
+
+func fetchHealth(url string) (monitor.CampaignHealth, error) {
+	var h monitor.CampaignHealth
+	resp, err := http.Get(url)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("watch: %s returned %s", url, resp.Status)
+	}
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// dirHealth adapts a directory-schema status summary to the health view —
+// counts and progress only; timing-derived fields need the event journal.
+func dirHealth(campaign string, sum *cheetah.StatusSummary) monitor.CampaignHealth {
+	return monitor.CampaignHealth{
+		Campaign:  campaign,
+		TotalRuns: sum.Total,
+		Running:   sum.ByStatus[cheetah.RunRunning],
+		Executed:  sum.ByStatus[cheetah.RunSucceeded],
+		Failed:    sum.ByStatus[cheetah.RunFailed],
+		Completed: sum.ByStatus[cheetah.RunSucceeded] + sum.ByStatus[cheetah.RunFailed],
+		Progress:  sum.Progress(),
+	}
+}
+
+// healthCmd replays a telemetry dump (metrics + events) through the monitor
+// and reports the campaign's final health, with optional alert rules.
+func healthCmd(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	file := fs.String("f", "", "telemetry dump JSON with an event journal (gwaspaste/savanna -telemetry)")
+	format := fs.String("format", "text", "output format: text or json")
+	factor := fs.Float64("straggler-factor", 0, "flag runs slower than this multiple of the median (0 = default)")
+	stall := fs.Duration("stall", 0, "stall window (0 = stall detection off)")
+	var rules ruleFlags
+	fs.Var(&rules, "rule", "alert rule 'name: [rate(]metric[)] >|< threshold' (repeatable)")
+	fs.Parse(args)
+	if *file == "" {
+		fatal(fmt.Errorf("health needs -f"))
+	}
+	parsed, err := monitor.ParseRules(rules)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	dump, err := eventlog.ReadDump(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(dump.Events) == 0 {
+		fatal(fmt.Errorf("health: %s carries no event journal (was the engine run with events enabled?)", *file))
+	}
+	h := monitor.FromDump(dump, monitor.Config{
+		StragglerFactor: *factor,
+		StallWindow:     *stall,
+		Rules:           parsed,
+	})
+	switch *format {
+	case "text":
+		monitor.RenderText(os.Stdout, h)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("health: unknown format %q (want text or json)", *format))
+	}
+	for _, a := range h.Alerts {
+		if a.Firing {
+			os.Exit(3) // firing alerts make the exit status scriptable
+		}
+	}
+}

@@ -10,9 +10,13 @@
 // Observability (all opt-in, zero cost when unset):
 //
 //	-cache dir        memoize tasks through a content-addressed action cache
-//	-telemetry f.json write a metrics + span dump (fairctl metrics/trace read it)
+//	-telemetry f.json write a metrics + span + event dump (fairctl metrics/
+//	                  trace/health read it)
 //	-trace f.json     write a Chrome trace_event file (chrome://tracing, Perfetto)
-//	-debug-addr :8080 serve /metrics, /telemetry.json, /trace.json, /debug/pprof
+//	-events f.jsonl   write the correlated event journal as JSON lines
+//	-debug-addr :8080 serve /metrics, /telemetry.json, /trace.json,
+//	                  /events.jsonl, /health.json and /debug/pprof
+//	                  (fairctl watch -addr polls /health.json)
 package main
 
 import (
@@ -25,8 +29,10 @@ import (
 	"time"
 
 	"fairflow/internal/cas"
+	"fairflow/internal/monitor"
 	"fairflow/internal/tabular"
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 func main() {
@@ -39,9 +45,10 @@ func main() {
 	delim := flag.String("delim", "\t", "output column delimiter")
 	ragged := flag.Bool("ragged", false, "permit inputs with differing row counts (missing cells empty)")
 	cacheDir := flag.String("cache", "", "action-cache directory for memoized execution")
-	telemetryOut := flag.String("telemetry", "", "write a JSON telemetry dump (metrics + spans) to this file")
+	telemetryOut := flag.String("telemetry", "", "write a JSON telemetry dump (metrics + spans + events) to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /telemetry.json, /trace.json and /debug/pprof on this address")
+	eventsOut := flag.String("events", "", "write the event journal as JSON lines to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /telemetry.json, /trace.json, /events.jsonl, /health.json and /debug/pprof on this address")
 	flag.Parse()
 
 	if *inputs == "" || *output == "" {
@@ -68,16 +75,23 @@ func main() {
 	// for it.
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
-	if *telemetryOut != "" || *traceOut != "" || *debugAddr != "" {
+	var elog *eventlog.Log
+	if *telemetryOut != "" || *traceOut != "" || *debugAddr != "" || *eventsOut != "" {
 		reg = telemetry.NewRegistry()
 		tracer = telemetry.NewTracer()
+		elog = eventlog.NewLog()
+		elog.SetMetrics(reg)
 	}
 	if *debugAddr != "" {
-		srv, err := telemetry.StartDebugServer(*debugAddr, reg, tracer)
+		mon := monitor.New(monitor.Config{Campaign: "gwaspaste", TotalRuns: len(plan.Tasks)}, reg, elog)
+		srv, err := telemetry.StartDebugServer(*debugAddr, reg, tracer,
+			telemetry.Endpoint{Pattern: "/events.jsonl", Handler: elog.Handler()},
+			telemetry.Endpoint{Pattern: "/health.json", Handler: mon.Handler()},
+		)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("gwaspaste: debug endpoint at http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+		fmt.Printf("gwaspaste: debug endpoint at http://%s/metrics (health at /health.json, pprof under /debug/pprof/)\n", srv.Addr)
 	}
 
 	var cache *cas.ActionCache
@@ -97,6 +111,8 @@ func main() {
 	ctx, campaignSpan := tracer.Start(context.Background(), "paste.campaign",
 		telemetry.String("campaign", "gwaspaste"),
 		telemetry.Int("inputs", len(files)))
+	elog.Append(eventlog.Info, eventlog.CampaignStart, "gwaspaste", campaignSpan.ID(),
+		telemetry.String("campaign", "gwaspaste"), telemetry.Int("runs", len(plan.Tasks)))
 	ctx, runSpan := tracer.Start(ctx, "paste.run",
 		telemetry.Int("tasks", len(plan.Tasks)),
 		telemetry.Int("phases", plan.Phases))
@@ -110,10 +126,13 @@ func main() {
 		Stats:             &stats,
 		Tracer:            tracer,
 		Metrics:           reg,
+		Events:            elog,
 	})
 	runSpan.End(telemetry.Bool("error", err != nil))
 	campaignSpan.End()
-	if werr := writeTelemetry(*telemetryOut, *traceOut, reg, tracer); werr != nil {
+	elog.Append(eventlog.Info, eventlog.CampaignDone, "gwaspaste", campaignSpan.ID(),
+		telemetry.String("campaign", "gwaspaste"))
+	if werr := writeTelemetry(*telemetryOut, *traceOut, *eventsOut, reg, tracer, elog); werr != nil {
 		fatal(werr)
 	}
 	if err != nil {
@@ -131,15 +150,16 @@ func main() {
 	}
 }
 
-// writeTelemetry flushes the dump and/or Chrome trace files. It runs on the
-// failure path too, so a partial campaign still leaves its trace behind.
-func writeTelemetry(dumpPath, tracePath string, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+// writeTelemetry flushes the dump, Chrome trace and/or event journal files.
+// It runs on the failure path too, so a partial campaign still leaves its
+// trace behind.
+func writeTelemetry(dumpPath, tracePath, eventsPath string, reg *telemetry.Registry, tracer *telemetry.Tracer, elog *eventlog.Log) error {
 	if dumpPath != "" {
 		f, err := os.Create(dumpPath)
 		if err != nil {
 			return err
 		}
-		if err := telemetry.Collect(reg, tracer).WriteJSON(f); err != nil {
+		if err := eventlog.Collect(reg, tracer, elog).WriteJSON(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -147,6 +167,20 @@ func writeTelemetry(dumpPath, tracePath string, reg *telemetry.Registry, tracer 
 			return err
 		}
 		fmt.Printf("gwaspaste: telemetry dump written to %s\n", dumpPath)
+	}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		if err := eventlog.WriteJSONL(f, elog.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("gwaspaste: event journal written to %s\n", eventsPath)
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)

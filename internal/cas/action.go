@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // Recipe describes one deterministic operation: what kind of work, with
@@ -101,6 +102,16 @@ type ActionCache struct {
 	mMisses     *telemetry.Counter
 	mMemoHits   *telemetry.Counter
 	mMemoMisses *telemetry.Counter
+	// events, when non-nil, journals Get outcomes at debug level.
+	events *eventlog.Log
+}
+
+// SetEvents journals each Get outcome into l as a debug-level cache.hit /
+// cache.miss event keyed by the recipe digest. Debug level keeps the hot
+// lookup path silent under the default Info threshold; the level gate is a
+// single atomic load. Call before concurrent use; a nil log is a no-op.
+func (c *ActionCache) SetEvents(l *eventlog.Log) {
+	c.events = l
 }
 
 // SetMetrics registers the cache's instruments in reg and starts feeding
@@ -171,16 +182,27 @@ func (c *ActionCache) Get(recipe Digest) (ActionResult, bool) {
 	c.mu.Unlock()
 	if !ok {
 		c.mMisses.Inc()
+		c.noteGet(eventlog.CacheMiss, recipe)
 		return ActionResult{}, false
 	}
 	for _, d := range res.Outputs {
 		if !c.store.Has(d) {
 			c.mMisses.Inc()
+			c.noteGet(eventlog.CacheMiss, recipe)
 			return ActionResult{}, false
 		}
 	}
 	c.mHits.Inc()
+	c.noteGet(eventlog.CacheHit, recipe)
 	return res, true
+}
+
+// noteGet journals one Get outcome when debug events are enabled.
+func (c *ActionCache) noteGet(typ string, recipe Digest) {
+	if c.events.Enabled(eventlog.Debug) {
+		c.events.Append(eventlog.Debug, typ, "", 0,
+			telemetry.String("recipe", string(recipe)))
+	}
 }
 
 // Put records a recipe's result and persists the cache.

@@ -192,6 +192,24 @@ type StatusSummary struct {
 	PendingRuns []string `json:"pending_runs,omitempty"`
 }
 
+// Progress returns the fraction of runs in a terminal state (succeeded or
+// failed), in [0, 1]. An empty campaign reports 0.
+func (s *StatusSummary) Progress() float64 {
+	if s == nil || s.Total == 0 {
+		return 0
+	}
+	done := s.ByStatus[RunSucceeded] + s.ByStatus[RunFailed]
+	return float64(done) / float64(s.Total)
+}
+
+// Done reports whether every run has reached a terminal state.
+func (s *StatusSummary) Done() bool {
+	if s == nil || s.Total == 0 {
+		return false
+	}
+	return s.ByStatus[RunSucceeded]+s.ByStatus[RunFailed] == s.Total
+}
+
 // Status walks a materialised campaign directory and summarises it.
 func Status(dir string) (*StatusSummary, error) {
 	m, err := LoadCampaignDir(dir)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // JobState tracks a batch job through its lifecycle.
@@ -111,6 +112,9 @@ type Cluster struct {
 	mCompleted  *telemetry.Counter
 	mExpired    *telemetry.Counter
 	mBackfilled *telemetry.Counter
+
+	// events journals job and node transitions (nil until SetEvents).
+	events *eventlog.Log
 }
 
 // NewCluster builds a cluster of cfg.Nodes nodes attached to sim. The
@@ -219,6 +223,8 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 	c.queue = append(c.queue, j)
 	c.jobs = append(c.jobs, j)
 	c.updateTelemetry()
+	c.events.Append(eventlog.Info, eventlog.JobQueued, "", 0,
+		telemetry.String("job", spec.Name), telemetry.Int("nodes", spec.Nodes))
 	// Defer scheduling to an event so Submit never reenters user callbacks.
 	c.sim.After(0, c.trySchedule)
 	return j, nil
@@ -250,6 +256,8 @@ func (c *Cluster) trySchedule() {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			c.BackfilledJobs++
 			c.mBackfilled.Inc()
+			c.events.Append(eventlog.Info, eventlog.JobBackfilled, "", 0,
+				telemetry.String("job", j.Spec.Name))
 			c.start(j, free[:j.Spec.Nodes])
 			// Starting j occupies nodes that were idle anyway, and j ends
 			// before the reservation, so the reservation stands.
@@ -321,6 +329,8 @@ func (c *Cluster) start(j *Job, nodes []*node) {
 	j.alloc = alloc
 	j.State = JobRunning
 	j.Started = c.sim.Now()
+	c.events.Append(eventlog.Info, eventlog.JobStarted, "", 0,
+		telemetry.String("job", j.Spec.Name), telemetry.Int("nodes", len(nodes)))
 	alloc.expiry = c.sim.At(alloc.deadline, func() { alloc.terminate(JobExpired) })
 	if j.Spec.OnStart != nil {
 		j.Spec.OnStart(alloc)
@@ -476,9 +486,13 @@ func (a *Allocation) terminate(state JobState) {
 	if state == JobCompleted {
 		a.cluster.CompletedJobs++
 		a.cluster.mCompleted.Inc()
+		a.cluster.events.Append(eventlog.Info, eventlog.JobCompleted, "", 0,
+			telemetry.String("job", a.job.Spec.Name))
 	} else if state == JobExpired {
 		a.cluster.ExpiredJobs++
 		a.cluster.mExpired.Inc()
+		a.cluster.events.Append(eventlog.Warn, eventlog.JobExpired, "walltime exceeded", 0,
+			telemetry.String("job", a.job.Spec.Name))
 	}
 	a.cluster.updateTelemetry()
 	if a.job.Spec.OnEnd != nil {

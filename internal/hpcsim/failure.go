@@ -2,6 +2,9 @@ package hpcsim
 
 import (
 	"math/rand"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // FailureConfig parameterises node-failure injection.
@@ -62,6 +65,8 @@ func (fi *FailureInjector) fail(nd *node) {
 	}
 	nd.failed = true
 	fi.Failures++
+	fi.cluster.events.Append(eventlog.Warn, eventlog.NodeFailed, "", 0,
+		telemetry.Int("node", nd.id))
 	// Kill the task running on this node, if any.
 	if a := nd.alloc; a != nil {
 		for t := range a.tasks {
@@ -91,6 +96,8 @@ func (fi *FailureInjector) fail(nd *node) {
 
 func (fi *FailureInjector) repair(nd *node) {
 	nd.failed = false
+	fi.cluster.events.Append(eventlog.Info, eventlog.NodeRepaired, "", 0,
+		telemetry.Int("node", nd.id))
 	// Node rejoins the free pool; wake the scheduler and arm the next
 	// failure.
 	fi.cluster.sim.After(0, fi.cluster.trySchedule)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // SimClock adapts the simulation kernel to the telemetry Clock interface:
@@ -34,6 +35,14 @@ func (c *Cluster) SetMetrics(reg *telemetry.Registry) {
 	c.mExpired = reg.Counter("hpcsim.jobs_expired_total")
 	c.mBackfilled = reg.Counter("hpcsim.jobs_backfilled_total")
 	c.updateTelemetry()
+}
+
+// SetEvents journals the cluster's job transitions (job.queued / started /
+// backfilled / completed / expired) and — via the failure injector — node
+// failures and repairs into l. Give the log the cluster's SimClock so the
+// journal is stamped in virtual time. A nil log is a no-op.
+func (c *Cluster) SetEvents(l *eventlog.Log) {
+	c.events = l
 }
 
 // updateTelemetry refreshes the gauges from current node and queue state. A

@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// fmtDuration renders seconds compactly (1h02m, 3m20s, 45s).
+func fmtDuration(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second)).Round(time.Second)
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+// progressBar renders a [####----] bar of the given width.
+func progressBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", fill) + strings.Repeat("-", width-fill) + "]"
+}
+
+// RenderText writes a terminal-friendly health report — the body of the
+// fairctl watch view.
+func RenderText(w io.Writer, h CampaignHealth) {
+	if h.Campaign != "" {
+		fmt.Fprintf(w, "campaign  %s\n", h.Campaign)
+	}
+	if h.TotalRuns > 0 {
+		fmt.Fprintf(w, "progress  %s %d/%d (%.0f%%)\n",
+			progressBar(h.Progress, 24), h.Completed, h.TotalRuns, h.Progress*100)
+	} else {
+		fmt.Fprintf(w, "progress  %d completed (total unknown)\n", h.Completed)
+	}
+	fmt.Fprintf(w, "runs      %d running · %d executed · %d cached · %d failed · %d killed\n",
+		h.Running, h.Executed, h.Cached, h.Failed, h.Killed)
+	if h.ThroughputPerSec > 0 {
+		fmt.Fprintf(w, "rate      %.3g runs/s", h.ThroughputPerSec)
+		if h.HasETA {
+			fmt.Fprintf(w, " · ETA %s", fmtDuration(h.ETASeconds))
+		}
+		fmt.Fprintln(w)
+	}
+	if h.MedianRunSeconds > 0 {
+		fmt.Fprintf(w, "median    %s per run\n", fmtDuration(h.MedianRunSeconds))
+	}
+	for _, s := range h.Stragglers {
+		fmt.Fprintf(w, "straggler %s — running %s, %.1f× the %s median\n",
+			s.Run, fmtDuration(s.ElapsedSeconds), s.Factor, fmtDuration(s.MedianSeconds))
+	}
+	if h.Stalled {
+		fmt.Fprintf(w, "STALLED   no progress for %s\n", fmtDuration(h.StallSeconds))
+	}
+	for _, a := range h.Alerts {
+		if !a.Firing {
+			continue
+		}
+		switch a.Alert {
+		case AlertStraggler, AlertStall:
+			// Rendered above with detail.
+		default:
+			fmt.Fprintf(w, "ALERT     %s firing (value %.4g, threshold %.4g)\n",
+				a.Alert, a.Value, a.Threshold)
+		}
+	}
+}

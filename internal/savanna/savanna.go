@@ -25,6 +25,7 @@ import (
 	"fairflow/internal/cheetah"
 	"fairflow/internal/provenance"
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // Executor runs one campaign run in-process.
@@ -107,6 +108,11 @@ type LocalEngine struct {
 	// and the savanna.run_seconds histogram. Both telemetry fields left nil
 	// cost the engine only nil checks.
 	Metrics *telemetry.Registry
+	// Events, when non-nil, journals the campaign's life cycle —
+	// campaign.start/done, run.start and the terminal run.succeeded /
+	// run.cached / run.failed — each correlated to its span, which is what
+	// the monitor consumes for progress, stragglers and stalls.
+	Events *eventlog.Log
 
 	// attempt numbers provenance records so resubmitted runs get fresh IDs
 	// (provenance is append-only; each attempt is its own record).
@@ -155,6 +161,8 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 		telemetry.String("campaign", campaign),
 		telemetry.String("discipline", "dynamic"),
 		telemetry.Int("runs", len(runs)))
+	e.Events.Append(eventlog.Info, eventlog.CampaignStart, campaign, campaignSpan.ID(),
+		telemetry.String("campaign", campaign), telemetry.Int("runs", len(runs)))
 	results := make([]RunResult, len(runs))
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -173,6 +181,8 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 	close(work)
 	wg.Wait()
 	campaignSpan.End()
+	e.Events.Append(eventlog.Info, eventlog.CampaignDone, campaign, campaignSpan.ID(),
+		telemetry.String("campaign", campaign))
 	return results, nil
 }
 
@@ -191,6 +201,8 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 		telemetry.String("campaign", campaign),
 		telemetry.String("discipline", "set-synchronized"),
 		telemetry.Int("runs", len(runs)))
+	e.Events.Append(eventlog.Info, eventlog.CampaignStart, campaign, campaignSpan.ID(),
+		telemetry.String("campaign", campaign), telemetry.Int("runs", len(runs)))
 	results := make([]RunResult, len(runs))
 	for lo := 0; lo < len(runs); lo += setSize {
 		hi := lo + setSize
@@ -212,12 +224,15 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 		wg.Wait() // the set barrier
 	}
 	campaignSpan.End()
+	e.Events.Append(eventlog.Info, eventlog.CampaignDone, campaign, campaignSpan.ID(),
+		telemetry.String("campaign", campaign))
 	return results, nil
 }
 
 func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheetah.Run) RunResult {
 	start := time.Now()
 	_, span := e.Tracer.Start(ctx, "savanna.run", telemetry.String("run", run.ID))
+	e.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(), telemetry.String("run", run.ID))
 
 	// Memoized skip path: an unchanged (component, sweep point, inputs)
 	// recipe means this run's outputs already exist — record it succeeded
@@ -232,6 +247,7 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 			e.mCached.Inc()
 			e.hRunSecs.Observe(elapsed.Seconds())
 			span.End(telemetry.Bool("cached", true))
+			e.Events.Append(eventlog.Info, eventlog.RunCached, "", span.ID(), telemetry.String("run", run.ID))
 			return RunResult{Run: run, Status: provenance.StatusSucceeded, Seconds: elapsed.Seconds(), Cached: true}
 		}
 	}
@@ -262,12 +278,21 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 	}
 	e.appendProvenance(campaign, run, status, elapsed, recorded, false)
 	if err != nil {
+		// The failure's cause rides both observability channels: an "error"
+		// span attribute (visible in fairctl trace and the Chrome export)
+		// and an ERROR journal event under the same span.
 		e.mFailed.Inc()
-	} else {
-		e.mExecuted.Inc()
+		e.hRunSecs.Observe(elapsed.Seconds())
+		span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)),
+			telemetry.String("error", err.Error()))
+		e.Events.Append(eventlog.Error, eventlog.RunFailed, err.Error(), span.ID(),
+			telemetry.String("run", run.ID))
+		return res
 	}
+	e.mExecuted.Inc()
 	e.hRunSecs.Observe(elapsed.Seconds())
 	span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)))
+	e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(), telemetry.String("run", run.ID))
 	return res
 }
 

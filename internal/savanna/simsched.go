@@ -1,13 +1,17 @@
 package savanna
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"time"
 
 	"fairflow/internal/cheetah"
 	"fairflow/internal/hpcsim"
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // DurationModel predicts the execution time of a run on the simulated
@@ -51,6 +55,39 @@ type SimEngine struct {
 	// allocation's cluster: failing nodes kill their runs (which requeue)
 	// and leave the allocation degraded until the walltime.
 	Failures hpcsim.FailureConfig
+	// Tracer, Metrics and Events mirror LocalEngine's observability wiring,
+	// but stamped in virtual time: the engine drives the tracer's and
+	// journal's clocks from the simulation, offset so spans from successive
+	// allocations lay out sequentially instead of overlapping at zero. All
+	// three left nil cost the engine only nil checks.
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+	Events  *eventlog.Log
+	// Probe, when non-nil, runs after each allocation's cluster is built
+	// and before the simulation drains — the hook for scheduling mid-sim
+	// observations (e.g. recurring monitor.Health evaluations) on the sim.
+	Probe func(*hpcsim.Sim, *hpcsim.Cluster)
+
+	// clockBase accumulates virtual seconds across allocations so each
+	// fresh Sim (which starts at 0) continues the campaign's timeline.
+	clockBase float64
+	// campaignCtx parents allocation spans under RunToCompletion's
+	// campaign span.
+	campaignCtx context.Context
+	// Instruments, resolved once per allocation.
+	mExecuted *telemetry.Counter
+	mKilled   *telemetry.Counter
+	hRunSecs  *telemetry.Histogram
+}
+
+// setVirtualClock points the engine's tracer and journal at the virtual
+// instant now() seconds past the epoch.
+func (e *SimEngine) setVirtualClock(now func() float64) {
+	clk := telemetry.ClockFunc(func() time.Time {
+		return time.Unix(0, 0).Add(time.Duration(now() * float64(time.Second)))
+	})
+	e.Tracer.SetClock(clk)
+	e.Events.SetClock(clk)
 }
 
 // runDuration derives the deterministic duration of a run.
@@ -106,7 +143,14 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 		return nil, fmt.Errorf("savanna: invalid allocation shape %d nodes × %.0fs", nodes, walltime)
 	}
 	sim := hpcsim.New(clusterSeed)
+	base := e.clockBase
+	e.setVirtualClock(func() float64 { return base + sim.Now() })
+	e.mExecuted = e.Metrics.Counter("savanna.runs_executed_total")
+	e.mKilled = e.Metrics.Counter("savanna.runs_killed_total")
+	e.hRunSecs = e.Metrics.Histogram("savanna.run_seconds", nil)
 	cluster := hpcsim.NewCluster(sim, hpcsim.ClusterConfig{Nodes: nodes}, clusterSeed+1)
+	cluster.SetMetrics(e.Metrics)
+	cluster.SetEvents(e.Events)
 	if e.Failures.MTTF > 0 {
 		fcfg := e.Failures
 		if fcfg.Horizon <= 0 {
@@ -115,6 +159,18 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 		hpcsim.NewFailureInjector(cluster, fcfg, clusterSeed+2)
 	}
 	out := &AllocationOutcome{}
+
+	ctx := e.campaignCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, allocSpan := e.Tracer.Start(ctx, "savanna.alloc",
+		telemetry.Int("nodes", nodes), telemetry.String("discipline", string(d)))
+	e.Events.Append(eventlog.Info, eventlog.AllocStart, "", allocSpan.ID(),
+		telemetry.Int("nodes", nodes), telemetry.Int("pending", len(runs)))
+	if e.Probe != nil {
+		e.Probe(sim, cluster)
+	}
 
 	pending := append([]cheetah.Run(nil), runs...)
 	var started float64
@@ -126,16 +182,21 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 			started = sim.Now()
 			switch d {
 			case Dynamic:
-				e.runDynamic(a, &pending, out)
+				e.runDynamic(ctx, a, &pending, out)
 			case SetSynchronized:
-				e.runSets(a, &pending, out)
+				e.runSets(ctx, a, &pending, out)
 			}
 		},
 	})
 	if err != nil {
+		allocSpan.End(telemetry.String("error", err.Error()))
 		return nil, err
 	}
 	sim.Run()
+	allocSpan.End(telemetry.Int("completed", len(out.Completed)), telemetry.Int("killed", out.Killed))
+	e.Events.Append(eventlog.Info, eventlog.AllocDone, "", allocSpan.ID(),
+		telemetry.Int("completed", len(out.Completed)), telemetry.Int("killed", out.Killed))
+	e.clockBase = base + sim.Now()
 	end := started + walltime
 	if len(pending) == 0 && out.Killed == 0 {
 		// Finished early; measure to the last busy moment.
@@ -150,9 +211,41 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 	return out, nil
 }
 
+// startSimRun launches one run on a node with full observability: a
+// "savanna.run" span under the allocation, run.start / run.succeeded /
+// run.killed journal events, and the engine counters — all stamped in
+// virtual time by the engine's clock. done receives the task outcome after
+// the bookkeeping.
+func (e *SimEngine) startSimRun(ctx context.Context, a *hpcsim.Allocation, run cheetah.Run, nid int, dur float64, done func(ok bool)) {
+	_, span := e.Tracer.Start(ctx, "savanna.run",
+		telemetry.String("run", run.ID), telemetry.Int("node", nid))
+	e.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(),
+		telemetry.String("run", run.ID), telemetry.Int("node", nid))
+	_, err := a.RunTask(run.ID, nid, dur, func(ok bool) {
+		if ok {
+			e.mExecuted.Inc()
+			e.hRunSecs.Observe(dur)
+			span.End(telemetry.String("status", "succeeded"))
+			e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(),
+				telemetry.String("run", run.ID))
+		} else {
+			e.mKilled.Inc()
+			span.End(telemetry.String("status", "killed"))
+			e.Events.Append(eventlog.Warn, eventlog.RunKilled, "killed by walltime or node failure", span.ID(),
+				telemetry.String("run", run.ID))
+		}
+		done(ok)
+	})
+	if err != nil {
+		// Callers only target idle nodes, so this is defensive: end the
+		// span rather than leaking it open.
+		span.End(telemetry.String("error", err.Error()))
+	}
+}
+
 // runDynamic implements the Savanna pilot: every idle node pulls the next
 // pending run immediately.
-func (e *SimEngine) runDynamic(a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+func (e *SimEngine) runDynamic(ctx context.Context, a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
 	var assign func()
 	assign = func() {
 		if !a.Active() {
@@ -164,8 +257,7 @@ func (e *SimEngine) runDynamic(a *hpcsim.Allocation, pending *[]cheetah.Run, out
 			}
 			run := (*pending)[0]
 			*pending = (*pending)[1:]
-			dur := e.runDuration(run)
-			a.RunTask(run.ID, nid, dur, func(ok bool) {
+			e.startSimRun(ctx, a, run, nid, e.runDuration(run), func(ok bool) {
 				if ok {
 					out.Completed = append(out.Completed, run)
 				} else {
@@ -188,7 +280,7 @@ func (e *SimEngine) runDynamic(a *hpcsim.Allocation, pending *[]cheetah.Run, out
 // runSets implements the baseline: sets sized to the node count, with an
 // explicit barrier — the next set starts only when every run of the current
 // set has finished.
-func (e *SimEngine) runSets(a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+func (e *SimEngine) runSets(ctx context.Context, a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
 	var nextSet func()
 	nextSet = func() {
 		if !a.Active() {
@@ -207,9 +299,8 @@ func (e *SimEngine) runSets(a *hpcsim.Allocation, pending *[]cheetah.Run, out *A
 		*pending = (*pending)[setSize:]
 		outstanding := setSize
 		for i, run := range set {
-			dur := e.runDuration(run)
 			run := run
-			a.RunTask(run.ID, nodes[i], dur, func(ok bool) {
+			e.startSimRun(ctx, a, run, nodes[i], e.runDuration(run), func(ok bool) {
 				if ok {
 					out.Completed = append(out.Completed, run)
 				} else {
@@ -248,16 +339,29 @@ type CampaignOutcome struct {
 // resumes with exactly the runs that have not succeeded — Savanna's
 // "simply re-submit the SweepGroup" behaviour.
 func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime float64, d Discipline, seed int64, maxAllocations int) (*CampaignOutcome, error) {
+	// The campaign span brackets every allocation on the campaign's
+	// continuous virtual timeline (clockBase carries time across the
+	// per-allocation sims, which each restart at zero).
+	e.setVirtualClock(func() float64 { return e.clockBase })
+	ctx, campaignSpan := e.Tracer.Start(context.Background(), "savanna.campaign",
+		telemetry.String("discipline", string(d)), telemetry.Int("runs", len(runs)))
+	e.Events.Append(eventlog.Info, eventlog.CampaignStart, "", campaignSpan.ID(),
+		telemetry.Int("runs", len(runs)), telemetry.String("discipline", string(d)))
+	e.campaignCtx = ctx
+	defer func() { e.campaignCtx = nil }()
+
 	done := map[string]bool{}
 	outcome := &CampaignOutcome{}
 	var utils []float64
 	remaining := append([]cheetah.Run(nil), runs...)
 	for alloc := 0; len(remaining) > 0; alloc++ {
 		if alloc >= maxAllocations {
+			campaignSpan.End(telemetry.String("error", "allocation budget exhausted"))
 			return nil, fmt.Errorf("savanna: campaign incomplete after %d allocations (%d runs left)", maxAllocations, len(remaining))
 		}
 		res, err := e.RunAllocation(remaining, nodes, walltime, d, seed+int64(alloc)*7919)
 		if err != nil {
+			campaignSpan.End(telemetry.String("error", err.Error()))
 			return nil, err
 		}
 		outcome.Allocations++
@@ -277,6 +381,7 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 			}
 		}
 		if len(next) == len(remaining) {
+			campaignSpan.End(telemetry.String("error", "no progress"))
 			return nil, fmt.Errorf("savanna: allocation %d made no progress", alloc)
 		}
 		remaining = next
@@ -288,5 +393,8 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 	if len(utils) > 0 {
 		outcome.MeanUtilization = sum / float64(len(utils))
 	}
+	campaignSpan.End(telemetry.Int("allocations", outcome.Allocations))
+	e.Events.Append(eventlog.Info, eventlog.CampaignDone, "", campaignSpan.ID(),
+		telemetry.Int("allocations", outcome.Allocations))
 	return outcome, nil
 }

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// TestIngestContextTraceNesting pins the satellite guarantee: a consumer's
+// span nests under the "stream.ingest" span, which nests under whatever span
+// called IngestContext — one causal tree in the exported trace.
+func TestIngestContextTraceNesting(t *testing.T) {
+	s := NewScheduler()
+	tr := telemetry.NewTracer()
+	s.SetTracer(tr)
+	if err := s.Install("all", ForwardAll{}); err != nil {
+		t.Fatal(err)
+	}
+	s.SubscribeContext(func(ctx context.Context, queue string, it Item) {
+		_, span := tr.Start(ctx, "consume", telemetry.String("queue", queue))
+		span.End()
+	})
+
+	ctx, parent := tr.Start(nil, "collect")
+	s.IngestContext(ctx, intItem(t, 1))
+	parent.End()
+
+	spans := tr.Snapshot()
+	byName := map[string]telemetry.SpanData{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	collect, ok := byName["collect"]
+	if !ok {
+		t.Fatalf("no collect span in %v", spans)
+	}
+	ingest, ok := byName["stream.ingest"]
+	if !ok {
+		t.Fatalf("no stream.ingest span in %v", spans)
+	}
+	consume, ok := byName["consume"]
+	if !ok {
+		t.Fatalf("no consume span in %v", spans)
+	}
+	if ingest.Parent != collect.ID {
+		t.Errorf("stream.ingest parent = %d, want collect id %d", ingest.Parent, collect.ID)
+	}
+	if consume.Parent != ingest.ID {
+		t.Errorf("consume parent = %d, want stream.ingest id %d", consume.Parent, ingest.ID)
+	}
+	if got := ingest.Attr("queue"); got != "all" {
+		t.Errorf("ingest queue attr = %q, want all", got)
+	}
+}
+
+// TestIngestWithoutTracerDeliversPlain checks plain Ingest and a nil tracer
+// still deliver to context consumers (with a background context).
+func TestIngestWithoutTracerDeliversPlain(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Install("all", ForwardAll{}); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	s.SubscribeContext(func(ctx context.Context, queue string, it Item) {
+		if ctx == nil {
+			t.Error("nil context delivered")
+		}
+		got++
+	})
+	s.Ingest(intItem(t, 1))
+	s.Ingest(intItem(t, 2))
+	if got != 2 {
+		t.Errorf("context consumer saw %d items, want 2", got)
+	}
+}
+
+// TestSchedulerPunctuationEvents checks the control channel is journaled as
+// queue.<op> events and absorbed items appear at debug level.
+func TestSchedulerPunctuationEvents(t *testing.T) {
+	s := NewScheduler()
+	l := eventlog.NewLog()
+	l.SetMinLevel(eventlog.Debug)
+	s.SetEvents(l)
+
+	sample, err := NewSampleEveryN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("sampled", sample); err != nil {
+		t.Fatal(err)
+	}
+	s.Ingest(intItem(t, 1)) // absorbed (every 2nd forwarded)
+	s.Ingest(intItem(t, 2)) // forwarded
+	if err := s.Punctuate(Punctuation{Op: OpMark, Label: "boundary"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Punctuate(Punctuation{Op: OpDeactivate, Queue: "sampled"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	for _, ev := range l.Snapshot() {
+		types = append(types, ev.Type)
+	}
+	want := []string{"queue.install", "queue.absorbed", "queue.mark", "queue.deactivate"}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", types, want)
+		}
+	}
+
+	evs := l.Snapshot()
+	if evs[0].Attr("policy") != sample.Name() {
+		t.Errorf("install event policy = %q, want %q", evs[0].Attr("policy"), sample.Name())
+	}
+	if evs[1].Attr("queue") != "sampled" || evs[1].Level != eventlog.Debug {
+		t.Errorf("absorbed event = %+v, want debug with queue=sampled", evs[1])
+	}
+	if evs[2].Msg != "boundary" {
+		t.Errorf("mark event msg = %q, want boundary", evs[2].Msg)
+	}
+
+	// With min level Info the absorbed debug event is suppressed entirely.
+	l2 := eventlog.NewLog()
+	s2 := NewScheduler()
+	s2.SetEvents(l2)
+	if err := s2.Install("sampled", mustSample(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Ingest(intItem(t, 1))
+	for _, ev := range l2.Snapshot() {
+		if ev.Type == eventlog.QueueAbsorbed {
+			t.Error("absorbed event journaled despite Info min level")
+		}
+	}
+}
+
+func mustSample(t *testing.T, n int) Policy {
+	t.Helper()
+	p, err := NewSampleEveryN(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

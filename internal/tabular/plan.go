@@ -12,6 +12,7 @@ import (
 
 	"fairflow/internal/cas"
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // PasteTask is one paste invocation inside a plan: sources → output.
@@ -108,6 +109,11 @@ type ExecOptions struct {
 	// cached/failed task counters and exec + queue-wait histograms. Both
 	// telemetry fields left nil cost the executor only nil checks.
 	Metrics *telemetry.Registry
+	// Events, when non-nil, journals each task's lifecycle (task.start /
+	// task.done / task.cached / task.failed) with the task's span ID, so
+	// the campaign monitor and the flamegraph tell one story. A nil log
+	// costs one nil check per task transition.
+	Events *eventlog.Log
 
 	// testTaskStart, when set (tests only), runs just before task i's paste.
 	testTaskStart func(i int)
@@ -412,6 +418,9 @@ func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
 					}
 				}
 				if launched {
+					opts.Events.Append(eventlog.Info, eventlog.TaskStart, "", span.ID(),
+						telemetry.String("task", p.Tasks[i].Output),
+						telemetry.Int("phase", p.Tasks[i].Phase))
 					rows, out, cached, err = runTask(i)
 				}
 				if tel != nil && launched {
@@ -431,6 +440,19 @@ func (p PastePlan) Execute(ctx context.Context, opts ExecOptions) (int, error) {
 					}
 				}
 				task := p.Tasks[i]
+				if launched {
+					switch {
+					case err != nil:
+						opts.Events.Append(eventlog.Error, eventlog.TaskFailed, err.Error(), span.ID(),
+							telemetry.String("task", task.Output))
+					case cached:
+						opts.Events.Append(eventlog.Info, eventlog.TaskCached, "", span.ID(),
+							telemetry.String("task", task.Output))
+					default:
+						opts.Events.Append(eventlog.Info, eventlog.TaskDone, "", span.ID(),
+							telemetry.String("task", task.Output), telemetry.Int("rows", rows))
+					}
+				}
 
 				mu.Lock()
 				completed++

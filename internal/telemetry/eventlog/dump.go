@@ -1,0 +1,43 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"io"
+
+	"fairflow/internal/telemetry"
+)
+
+// Dump extends the telemetry dump with the event journal. The embedded
+// telemetry.Dump flattens in JSON, so a file written here is readable by
+// telemetry.ReadDump (events ignored) and an events-free file written by
+// telemetry.WriteJSON is readable by ReadDump (events empty) — the two
+// formats are one format.
+type Dump struct {
+	telemetry.Dump
+	Events        []Event `json:"events,omitempty"`
+	DroppedEvents int64   `json:"dropped_events,omitempty"`
+}
+
+// Collect snapshots the registry, tracer, and event log into one dump.
+// Any of the three may be nil.
+func Collect(reg *telemetry.Registry, tr *telemetry.Tracer, l *Log) Dump {
+	return Dump{
+		Dump:          telemetry.Collect(reg, tr),
+		Events:        l.Snapshot(),
+		DroppedEvents: l.Dropped(),
+	}
+}
+
+// WriteJSON renders the dump as indented JSON.
+func (d Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a dump written by WriteJSON (or telemetry.WriteJSON).
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	err := json.NewDecoder(r).Decode(&d)
+	return d, err
+}

@@ -1,0 +1,305 @@
+package eventlog
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+)
+
+func TestAppendSnapshotOrder(t *testing.T) {
+	l := NewLog()
+	l.Append(Info, RunStart, "", 0, telemetry.String("run", "a"))
+	l.Append(Info, RunSucceeded, "", 0, telemetry.String("run", "a"))
+	l.Append(Error, RunFailed, "exit 1", 7, telemetry.String("run", "b"))
+
+	evs := l.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(evs))
+	}
+	for i, want := range []string{RunStart, RunSucceeded, RunFailed} {
+		if evs[i].Type != want {
+			t.Errorf("event %d type %q, want %q", i, evs[i].Type, want)
+		}
+		if evs[i].Seq != int64(i+1) {
+			t.Errorf("event %d seq %d, want %d", i, evs[i].Seq, i+1)
+		}
+	}
+	if evs[2].Span != 7 || evs[2].Msg != "exit 1" || evs[2].Attr("run") != "b" {
+		t.Errorf("failure event lost fields: %+v", evs[2])
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(4)
+	reg := telemetry.NewRegistry()
+	l.SetMetrics(reg)
+	for i := 0; i < 10; i++ {
+		l.Append(Info, "tick", "", 0)
+	}
+	if got := l.Len(); got != 4 {
+		t.Errorf("ring holds %d events, want 4", got)
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Errorf("dropped %d events, want 6", got)
+	}
+	evs := l.Snapshot()
+	if evs[0].Seq != 7 || evs[len(evs)-1].Seq != 10 {
+		t.Errorf("ring kept seqs %d..%d, want 7..10", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	if got := reg.Counter("telemetry.events_dropped_total").Value(); got != 6 {
+		t.Errorf("events_dropped_total = %d, want 6", got)
+	}
+	if got := reg.Counter("telemetry.events_total").Value(); got != 10 {
+		t.Errorf("events_total = %d, want 10", got)
+	}
+}
+
+func TestMinLevelGate(t *testing.T) {
+	l := NewLog()
+	l.SetMinLevel(Warn)
+	if l.Enabled(Debug) || l.Enabled(Info) {
+		t.Error("levels below minimum report enabled")
+	}
+	if !l.Enabled(Warn) || !l.Enabled(Error) {
+		t.Error("levels at/above minimum report disabled")
+	}
+	if seq := l.Append(Info, "quiet", "", 0); seq != 0 {
+		t.Errorf("below-minimum append returned seq %d, want 0", seq)
+	}
+	l.Append(Error, "loud", "", 0)
+	if got := l.Len(); got != 1 {
+		t.Errorf("journal holds %d events, want 1", got)
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	l := NewLog()
+	base := time.Unix(0, 0)
+	var sim float64
+	l.SetClock(telemetry.ClockFunc(func() time.Time {
+		return base.Add(time.Duration(sim * float64(time.Second)))
+	}))
+	l.Append(Info, "a", "", 0)
+	sim = 42.5
+	l.Append(Info, "b", "", 0)
+	evs := l.Snapshot()
+	if !evs[0].Time.Equal(base) {
+		t.Errorf("first event at %v, want %v", evs[0].Time, base)
+	}
+	if got := evs[1].Time.Sub(base).Seconds(); got != 42.5 {
+		t.Errorf("second event at +%vs, want +42.5s", got)
+	}
+	if got := l.Now().Sub(base).Seconds(); got != 42.5 {
+		t.Errorf("Now() at +%vs, want +42.5s", got)
+	}
+}
+
+func TestSubscribeDeliversAndAllowsReentrantAppend(t *testing.T) {
+	l := NewLog()
+	var mu sync.Mutex
+	var seen []string
+	l.Subscribe(func(ev Event) {
+		mu.Lock()
+		seen = append(seen, ev.Type)
+		mu.Unlock()
+		// A subscriber may append back into the log (the monitor records
+		// alerts this way); guard against infinite recursion by type.
+		if ev.Type == RunFailed {
+			l.Append(Warn, AlertFiring, "failure_rate", ev.Span)
+		}
+	})
+	l.Append(Info, RunStart, "", 0)
+	l.Append(Error, RunFailed, "boom", 3)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[2] != AlertFiring {
+		t.Fatalf("subscriber saw %v, want [run.start run.failed alert.firing]", seen)
+	}
+	if got := l.Len(); got != 3 {
+		t.Errorf("journal holds %d events, want 3", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.SetClock(telemetry.ClockFunc(func() time.Time { return time.Unix(100, 0).UTC() }))
+	l.Append(Error, RunFailed, "exit 1", 9, telemetry.String("run", "g/s/run-00003"))
+	l.Append(Debug+10, "future.type", "", 0) // unknown level survives as Info on read
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, l.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", got)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read back %d events, want 2", len(back))
+	}
+	ev := back[0]
+	if ev.Level != Error || ev.Type != RunFailed || ev.Span != 9 ||
+		ev.Msg != "exit 1" || ev.Attr("run") != "g/s/run-00003" ||
+		!ev.Time.Equal(time.Unix(100, 0)) {
+		t.Errorf("round-trip mangled event: %+v", ev)
+	}
+	if back[1].Level != Info {
+		t.Errorf("unknown level decoded as %v, want info", back[1].Level)
+	}
+}
+
+func TestSinceCursor(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.Append(Info, "tick", "", 0)
+	}
+	tail := l.Since(3)
+	if len(tail) != 2 || tail[0].Seq != 4 {
+		t.Fatalf("Since(3) = %d events starting at %d, want 2 starting at 4", len(tail), tail[0].Seq)
+	}
+	if got := l.Since(99); len(got) != 0 {
+		t.Errorf("Since(99) returned %d events, want 0", len(got))
+	}
+}
+
+func TestHandlerServesJSONL(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(2)
+	for i := 0; i < 3; i++ {
+		l.Append(Info, "tick", "", 0)
+	}
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events.jsonl", nil))
+	if rr.Header().Get("X-Eventlog-Dropped") != "1" {
+		t.Errorf("drop header = %q, want 1", rr.Header().Get("X-Eventlog-Dropped"))
+	}
+	evs, err := ReadJSONL(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Seq != 2 {
+		t.Fatalf("handler served %d events from seq %d, want 2 from 2", len(evs), evs[0].Seq)
+	}
+
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events.jsonl?since=2", nil))
+	evs, err = ReadJSONL(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Seq != 3 {
+		t.Fatalf("since=2 served %d events, want just seq 3", len(evs))
+	}
+
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events.jsonl?since=x", nil))
+	if rr.Code != 400 {
+		t.Errorf("bad cursor returned %d, want 400", rr.Code)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.SetCapacity(8)
+	l.SetClock(nil)
+	l.SetMinLevel(Debug)
+	l.SetMetrics(telemetry.NewRegistry())
+	l.Subscribe(func(Event) { t.Error("nil log delivered an event") })
+	if l.Enabled(Error) {
+		t.Error("nil log reports enabled")
+	}
+	if seq := l.Append(Error, "x", "", 0); seq != 0 {
+		t.Errorf("nil append returned seq %d", seq)
+	}
+	if l.Snapshot() != nil || l.Since(0) != nil || l.Len() != 0 || l.Dropped() != 0 {
+		t.Error("nil log reports contents")
+	}
+	if l.Now().IsZero() {
+		t.Error("nil log Now() is zero")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Info, "tick", "", 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Len() + int(l.Dropped()); got != 800 {
+		t.Errorf("kept+dropped = %d, want 800", got)
+	}
+	evs := l.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot seqs not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestDumpRoundTripAndCompat(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("savanna.runs_executed_total").Add(3)
+	tr := telemetry.NewTracer()
+	_, sp := tr.Start(nil, "campaign")
+	sp.End()
+	l := NewLog()
+	l.Append(Info, CampaignStart, "", sp.ID())
+
+	var buf bytes.Buffer
+	if err := Collect(reg, tr, l).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+
+	d, err := ReadDump(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 1 || d.Events[0].Type != CampaignStart || d.Events[0].Span != sp.ID() {
+		t.Errorf("events lost in round trip: %+v", d.Events)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].ID != sp.ID() {
+		t.Errorf("spans lost in round trip: %+v", d.Spans)
+	}
+
+	// The embedded dump flattens: a plain telemetry reader parses the same
+	// bytes, just without events.
+	old, err := telemetry.ReadDump(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Spans) != 1 || old.Metrics.Counters[0].Value != 3 {
+		t.Errorf("telemetry.ReadDump could not parse eventlog dump: %+v", old)
+	}
+
+	// And an old events-free dump parses here with empty events.
+	var oldBuf bytes.Buffer
+	if err := telemetry.Collect(reg, tr).WriteJSON(&oldBuf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDump(&oldBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Events) != 0 || len(d2.Spans) != 1 {
+		t.Errorf("old dump misparsed: %d events, %d spans", len(d2.Events), len(d2.Spans))
+	}
+}

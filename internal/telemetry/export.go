@@ -21,8 +21,30 @@ type Dump struct {
 }
 
 // Collect snapshots a registry and a tracer into a Dump. Either may be nil.
+// The metrics carry the tracer's own health (AppendTracerHealth), so span
+// loss is visible in every dump, not just to callers who know to ask.
 func Collect(reg *Registry, tr *Tracer) Dump {
-	return Dump{Metrics: reg.Snapshot(), Spans: tr.Snapshot(), DroppedSpans: tr.Dropped()}
+	return Dump{Metrics: AppendTracerHealth(reg.Snapshot(), tr), Spans: tr.Snapshot(), DroppedSpans: tr.Dropped()}
+}
+
+// AppendTracerHealth adds the tracer's self-health gauges to a metrics
+// snapshot — telemetry.spans_open (started, not yet ended) and
+// telemetry.spans_dropped (finished spans lost to the buffer cap; non-zero
+// means the trace is a prefix). Name ordering is preserved. A nil tracer
+// returns the snapshot unchanged.
+func AppendTracerHealth(snap MetricsSnapshot, tr *Tracer) MetricsSnapshot {
+	if tr == nil {
+		return snap
+	}
+	gauges := make([]GaugeSnap, 0, len(snap.Gauges)+2)
+	gauges = append(gauges, snap.Gauges...)
+	gauges = append(gauges,
+		GaugeSnap{Name: "telemetry.spans_dropped", Value: float64(tr.Dropped())},
+		GaugeSnap{Name: "telemetry.spans_open", Value: float64(tr.Open())},
+	)
+	sort.SliceStable(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	snap.Gauges = gauges
+	return snap
 }
 
 // WriteJSON serialises the dump as indented JSON.

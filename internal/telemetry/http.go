@@ -7,6 +7,15 @@ import (
 	"net/http/pprof"
 )
 
+// Endpoint is an extra route mounted on a debug mux — the hook for layers
+// above telemetry (the event log's /events.jsonl, the monitor's
+// /health.json) to join the same -debug-addr server without this package
+// importing them.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewDebugMux builds the handler tree served at a -debug-addr endpoint:
 //
 //	/metrics         Prometheus text exposition of reg
@@ -14,12 +23,13 @@ import (
 //	/trace.json      the finished spans as Chrome trace_event JSON
 //	/debug/pprof/…   the standard net/http/pprof profiles
 //
-// Either argument may be nil (its endpoints serve empty data).
-func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// plus any extra endpoints. Either of reg/tr may be nil (its endpoints
+// serve empty data); /metrics includes the tracer's self-health gauges.
+func NewDebugMux(reg *Registry, tr *Tracer, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w, reg.Snapshot())
+		WritePrometheus(w, AppendTracerHealth(reg.Snapshot(), tr))
 	})
 	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -34,6 +44,11 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, ep := range extras {
+		if ep.Pattern != "" && ep.Handler != nil {
+			mux.Handle(ep.Pattern, ep.Handler)
+		}
+	}
 	return mux
 }
 
@@ -48,14 +63,14 @@ type DebugServer struct {
 // Close shuts the endpoint down.
 func (d *DebugServer) Close() error { return d.srv.Close() }
 
-// StartDebugServer binds addr and serves NewDebugMux(reg, tr) in a
-// background goroutine. Callers own the returned server's lifetime.
-func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+// StartDebugServer binds addr and serves NewDebugMux(reg, tr, extras...) in
+// a background goroutine. Callers own the returned server's lifetime.
+func StartDebugServer(addr string, reg *Registry, tr *Tracer, extras ...Endpoint) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg, tr)}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr, extras...)}
 	go srv.Serve(ln)
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTracerHealthSurfacesAfterOverflow overflows the span buffer and
+// asserts the loss is observable everywhere a consumer might look: the
+// Prometheus text, the JSON dump's gauges, and the dump's DroppedSpans.
+func TestTracerHealthSurfacesAfterOverflow(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCapacity(8)
+	for i := 0; i < 20; i++ {
+		_, sp := tr.Start(nil, "burst")
+		sp.End()
+	}
+	_, open := tr.Start(nil, "inflight") // never ended
+	_ = open
+
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("dropped %d spans, want 12", got)
+	}
+
+	reg := NewRegistry()
+	reg.Counter("savanna.runs_executed_total").Add(1)
+	dump := Collect(reg, tr)
+	if dump.DroppedSpans != 12 {
+		t.Errorf("dump.DroppedSpans = %d, want 12", dump.DroppedSpans)
+	}
+	gauge := func(name string) (float64, bool) {
+		for _, g := range dump.Metrics.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := gauge("telemetry.spans_dropped"); !ok || v != 12 {
+		t.Errorf("telemetry.spans_dropped gauge = %v (present=%v), want 12", v, ok)
+	}
+	if v, ok := gauge("telemetry.spans_open"); !ok || v != 1 {
+		t.Errorf("telemetry.spans_open gauge = %v (present=%v), want 1", v, ok)
+	}
+
+	var prom bytes.Buffer
+	if err := WritePrometheus(&prom, AppendTracerHealth(reg.Snapshot(), tr)); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	if !strings.Contains(text, "telemetry_spans_dropped 12") {
+		t.Errorf("prometheus output missing telemetry_spans_dropped 12:\n%s", text)
+	}
+	if !strings.Contains(text, "telemetry_spans_open 1") {
+		t.Errorf("prometheus output missing telemetry_spans_open 1:\n%s", text)
+	}
+
+	// Gauge name ordering survives the append (Prometheus renderers and the
+	// dump diff tooling rely on sorted snapshots).
+	for i := 1; i < len(dump.Metrics.Gauges); i++ {
+		if dump.Metrics.Gauges[i].Name < dump.Metrics.Gauges[i-1].Name {
+			t.Fatalf("gauges unsorted: %q after %q",
+				dump.Metrics.Gauges[i].Name, dump.Metrics.Gauges[i-1].Name)
+		}
+	}
+}
+
+// TestAppendTracerHealthNil leaves a snapshot untouched without a tracer.
+func TestAppendTracerHealthNil(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("hpcsim.nodes_free").Set(3)
+	snap := AppendTracerHealth(reg.Snapshot(), nil)
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Name != "hpcsim.nodes_free" {
+		t.Errorf("nil tracer changed the snapshot: %+v", snap.Gauges)
+	}
+}
+
+// TestDebugMuxExtras mounts an extra endpoint next to the built-in routes
+// and checks /metrics carries the tracer health gauges.
+func TestDebugMuxExtras(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer()
+	tr.SetCapacity(1)
+	for i := 0; i < 3; i++ {
+		_, sp := tr.Start(nil, "x")
+		sp.End()
+	}
+
+	mux := NewDebugMux(reg, tr, Endpoint{
+		Pattern: "/extra.txt",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("mounted"))
+		}),
+	})
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/extra.txt", nil))
+	if rr.Body.String() != "mounted" {
+		t.Errorf("extra endpoint served %q, want %q", rr.Body.String(), "mounted")
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "telemetry_spans_dropped 2") {
+		t.Errorf("/metrics missing tracer self-health:\n%s", rr.Body.String())
+	}
+}
