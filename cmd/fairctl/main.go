@@ -32,6 +32,12 @@
 //	fairctl health -f dump.json [-rule 'name: metric > x']... [-format text|json]
 //	                                  replay a dump's event journal through the
 //	                                  campaign monitor; exit 3 if any alert fires
+//	fairctl resume -campaign <dir> [-journal attempts.jsonl] [flags] [-- cmd {param}...]
+//	                                  replay the attempt journal of a killed
+//	                                  campaign; report the resume position (exit 3
+//	                                  if runs remain), or re-execute the remainder
+//	                                  with retries/quarantine/deadlines armed when
+//	                                  a command template follows --
 package main
 
 import (
@@ -132,6 +138,8 @@ func main() {
 		watchCmd(os.Args[2:])
 	case "health":
 		healthCmd(os.Args[2:])
+	case "resume":
+		resumeCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -293,7 +301,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health|resume> [flags]")
 	os.Exit(2)
 }
 

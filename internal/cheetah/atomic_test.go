@@ -133,7 +133,7 @@ func TestWriteFileAtomicDurableRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "campaign.json")
 	for i, content := range []string{"first", "second, longer content", ""} {
-		if err := writeFileAtomic(path, []byte(content), 0o600); err != nil {
+		if err := WriteFileAtomic(path, []byte(content), 0o600); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 		got, err := os.ReadFile(path)

@@ -10,12 +10,12 @@ import (
 	"sort"
 )
 
-// writeFileAtomic writes data via a temp file in the target's directory and
+// WriteFileAtomic writes data via a temp file in the target's directory and
 // an atomic rename: a crash (or a concurrent reader) can never observe a
 // torn or partially-written campaign file — only the old content or the new.
 // The temp file is fsynced before the rename and the parent directory after
 // it, so the write is also durable across power loss.
-func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+func WriteFileAtomic(path string, data []byte, mode os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -139,7 +139,7 @@ func (m *Manifest) Materialize(root string) (string, error) {
 	if err := m.Write(&manifest); err != nil {
 		return "", err
 	}
-	if err := writeFileAtomic(filepath.Join(dir, "campaign.json"), manifest.Bytes(), 0o644); err != nil {
+	if err := WriteFileAtomic(filepath.Join(dir, "campaign.json"), manifest.Bytes(), 0o644); err != nil {
 		return "", err
 	}
 	for _, run := range m.Runs {
@@ -151,10 +151,10 @@ func (m *Manifest) Materialize(root string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if err := writeFileAtomic(filepath.Join(runDir, "params.json"), params, 0o644); err != nil {
+		if err := WriteFileAtomic(filepath.Join(runDir, "params.json"), params, 0o644); err != nil {
 			return "", err
 		}
-		if err := writeFileAtomic(filepath.Join(runDir, "status"), []byte(RunPending), 0o644); err != nil {
+		if err := WriteFileAtomic(filepath.Join(runDir, "status"), []byte(RunPending), 0o644); err != nil {
 			return "", err
 		}
 	}
@@ -180,7 +180,7 @@ func SetRunStatus(dir string, runID string, status RunStatus) error {
 	if _, err := os.Stat(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("cheetah: unknown run %q: %w", runID, err)
 	}
-	return writeFileAtomic(path, []byte(status), 0o644)
+	return WriteFileAtomic(path, []byte(status), 0o644)
 }
 
 // StatusSummary aggregates run statuses — the "API to submit a campaign and

@@ -394,10 +394,14 @@ func (a *Allocation) IdleNodes() []int {
 type Task struct {
 	Name   string
 	NodeID int
-	alloc  *Allocation
-	node   *node
-	done   func(ok bool)
-	finish *Event
+	// KillReason records why a killed task died — "node-failure",
+	// "walltime", or "released" — and stays empty for tasks that completed.
+	// Schedulers use it to decide whether a kill consumes retry budget.
+	KillReason string
+	alloc      *Allocation
+	node       *node
+	done       func(ok bool)
+	finish     *Event
 }
 
 // RunTask starts a task of the given duration on a specific idle node of the
@@ -472,8 +476,13 @@ func (a *Allocation) terminate(state JobState) {
 	}
 	a.released = true
 	a.expiry.Cancel()
-	// Kill running tasks (ok=false).
+	// Kill running tasks (ok=false), labelled with why the allocation ended.
+	reason := "released"
+	if state == JobExpired {
+		reason = "walltime"
+	}
 	for t := range a.tasks {
+		t.KillReason = reason
 		t.complete(false)
 	}
 	for _, nd := range a.nodes {

@@ -72,6 +72,7 @@ func (fi *FailureInjector) fail(nd *node) {
 		for t := range a.tasks {
 			if t.node == nd {
 				fi.KilledTasks++
+				t.KillReason = "node-failure"
 				t.complete(false)
 				break
 			}

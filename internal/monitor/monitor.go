@@ -78,7 +78,17 @@ type CampaignHealth struct {
 	Cached    int `json:"cached"`
 	Failed    int `json:"failed"`
 	Killed    int `json:"killed"`
-	// Completed counts terminal outcomes: executed + cached + failed.
+	// Retries counts failed attempts the resilience layer re-queued —
+	// churn that progress counters alone hide.
+	Retries int `json:"retries,omitempty"`
+	// Quarantined counts runs terminally side-lined by the sweep-point
+	// circuit breaker.
+	Quarantined int `json:"quarantined,omitempty"`
+	// Aborted is set once the campaign's stop condition trips (max failure
+	// fraction); remaining runs will be skipped, so the ETA is void.
+	Aborted bool `json:"aborted,omitempty"`
+	// Completed counts terminal outcomes: executed + cached + failed +
+	// quarantined.
 	Completed int `json:"completed"`
 	// Progress is Completed/TotalRuns (0 when TotalRuns is unknown).
 	Progress float64 `json:"progress"`
@@ -134,6 +144,9 @@ type Monitor struct {
 	cached       int
 	failed       int
 	killed       int
+	retries      int
+	quarantined  int
+	aborted      bool
 	alerts       map[string]*alertTrack
 	rateLast     map[string]float64
 	rateLastAt   time.Time
@@ -249,6 +262,20 @@ func (m *Monitor) observe(ev eventlog.Event) {
 			delete(m.runs, id)
 		}
 		m.killed++
+	case eventlog.RunRetry:
+		// A retry is churn, not completion: the run stays in-flight (its
+		// original start time keeps accruing toward straggler detection,
+		// backoff included — a run stuck in a retry loop IS a straggler).
+		m.retries++
+	case eventlog.RunQuarantined:
+		// Quarantine is terminal: the circuit breaker side-lined the sweep
+		// point, no further attempts follow.
+		if id := unitID(ev); id != "" {
+			delete(m.runs, id)
+		}
+		m.quarantined++
+	case eventlog.CampaignAborted:
+		m.aborted = true
 	}
 }
 
@@ -297,8 +324,11 @@ func (m *Monitor) Health() CampaignHealth {
 		Cached:      m.cached,
 		Failed:      m.failed,
 		Killed:      m.killed,
+		Retries:     m.retries,
+		Quarantined: m.quarantined,
+		Aborted:     m.aborted,
 	}
-	h.Completed = h.Executed + h.Cached + h.Failed
+	h.Completed = h.Executed + h.Cached + h.Failed + h.Quarantined
 	if h.TotalRuns > 0 {
 		h.Progress = float64(h.Completed) / float64(h.TotalRuns)
 	}
@@ -309,7 +339,7 @@ func (m *Monitor) Health() CampaignHealth {
 			h.ThroughputPerSec = float64(h.Completed) / elapsed
 		}
 	}
-	if remaining := h.TotalRuns - h.Completed; h.TotalRuns > 0 && h.Completed >= m.cfg.MinCompleted && h.ThroughputPerSec > 0 {
+	if remaining := h.TotalRuns - h.Completed; h.TotalRuns > 0 && !h.Aborted && h.Completed >= m.cfg.MinCompleted && h.ThroughputPerSec > 0 {
 		if remaining > 0 {
 			h.HasETA = true
 			h.ETASeconds = float64(remaining) / h.ThroughputPerSec

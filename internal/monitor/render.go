@@ -45,6 +45,12 @@ func RenderText(w io.Writer, h CampaignHealth) {
 	}
 	fmt.Fprintf(w, "runs      %d running · %d executed · %d cached · %d failed · %d killed\n",
 		h.Running, h.Executed, h.Cached, h.Failed, h.Killed)
+	if h.Retries > 0 || h.Quarantined > 0 {
+		fmt.Fprintf(w, "faults    %d retries · %d quarantined\n", h.Retries, h.Quarantined)
+	}
+	if h.Aborted {
+		fmt.Fprintf(w, "ABORTED   stop condition tripped — remaining runs skipped\n")
+	}
 	if h.ThroughputPerSec > 0 {
 		fmt.Fprintf(w, "rate      %.3g runs/s", h.ThroughputPerSec)
 		if h.HasETA {

@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// TestRetryStormRuleFiresAndResolves drives the canned retry-storm rule
+// through a synthetic campaign journal: a burst of run.retry events (with
+// the savanna.retries_total counter the engines export alongside) trips
+// the alert, and a quiet interval resolves it — both transitions recorded
+// back into the event log.
+func TestRetryStormRuleFiresAndResolves(t *testing.T) {
+	clk := newSimClock()
+	log := eventlog.NewLog()
+	log.SetClock(clk)
+	reg := telemetry.NewRegistry()
+	retries := reg.Counter("savanna.retries_total")
+
+	m := New(Config{Rules: []Rule{RetryStormRule(0.5)}}, reg, log)
+
+	storm := func(h CampaignHealth) AlertState {
+		for _, a := range h.Alerts {
+			if a.Alert == "retry-storm" {
+				return a
+			}
+		}
+		t.Fatal("retry-storm alert missing from report")
+		return AlertState{}
+	}
+
+	// First evaluation establishes the rate base; nothing can fire yet.
+	if storm(m.Health()).Firing {
+		t.Fatal("retry-storm firing before any retries")
+	}
+
+	// Storm: 12 retries in 10 simulated seconds → 1.2/s > 0.5.
+	for i := 0; i < 12; i++ {
+		log.Append(eventlog.Warn, eventlog.RunRetry, "transient", 0,
+			telemetry.String("run", "g/s/run-00001"))
+		retries.Inc()
+	}
+	clk.advance(10 * time.Second)
+	h := m.Health()
+	if a := storm(h); !a.Firing || a.Value != 1.2 {
+		t.Fatalf("retry-storm after burst: %+v, want firing at 1.2/s", a)
+	}
+	if h.Retries != 12 {
+		t.Errorf("health retries = %d, want 12", h.Retries)
+	}
+
+	// Quiet interval: the rate falls to zero and the alert resolves.
+	clk.advance(10 * time.Second)
+	if storm(m.Health()).Firing {
+		t.Fatal("retry-storm still firing after the storm ended")
+	}
+
+	var got []string
+	for _, ev := range log.Snapshot() {
+		if ev.Type == eventlog.AlertFiring || ev.Type == eventlog.AlertResolved {
+			got = append(got, ev.Type+":"+ev.Attr("alert"))
+		}
+	}
+	want := "alert.firing:retry-storm,alert.resolved:retry-storm"
+	if strings.Join(got, ",") != want {
+		t.Errorf("alert transitions %v, want [%v]", got, want)
+	}
+}
+
+// TestResilienceCountsInHealth folds retry, quarantine and abort events
+// into the health report: quarantined runs leave the running set and count
+// toward completion, and a tripped stop condition voids the ETA.
+func TestResilienceCountsInHealth(t *testing.T) {
+	clk, log, m := harness(t, Config{TotalRuns: 4})
+
+	for _, id := range []string{"a", "b", "c"} {
+		runEv(log, eventlog.RunStart, id)
+	}
+	clk.advance(10 * time.Second)
+	runEv(log, eventlog.RunSucceeded, "a")
+	log.Append(eventlog.Warn, eventlog.RunRetry, "transient", 0,
+		telemetry.String("run", "b"))
+	clk.advance(10 * time.Second)
+	runEv(log, eventlog.RunSucceeded, "b")
+	log.Append(eventlog.Error, eventlog.RunQuarantined, "poisoned point", 0,
+		telemetry.String("run", "c"), telemetry.String("point", "i=3"))
+	log.Append(eventlog.Error, eventlog.CampaignAborted, "failure fraction 0.33 exceeds 0.25", 0)
+
+	h := m.Health()
+	if h.Retries != 1 || h.Quarantined != 1 || !h.Aborted {
+		t.Fatalf("retries/quarantined/aborted = %d/%d/%v, want 1/1/true",
+			h.Retries, h.Quarantined, h.Aborted)
+	}
+	if h.Running != 0 {
+		t.Errorf("quarantined run still counted running: %d", h.Running)
+	}
+	if h.Completed != 3 {
+		t.Errorf("completed = %d, want 3 (2 executed + 1 quarantined)", h.Completed)
+	}
+	if h.HasETA {
+		t.Error("aborted campaign still projects an ETA")
+	}
+
+	var buf strings.Builder
+	RenderText(&buf, h)
+	if !strings.Contains(buf.String(), "1 retries · 1 quarantined") ||
+		!strings.Contains(buf.String(), "ABORTED") {
+		t.Errorf("render missing fault lines:\n%s", buf.String())
+	}
+}

@@ -111,6 +111,22 @@ func ParseRules(specs []string) ([]Rule, error) {
 	return rules, nil
 }
 
+// RetryStormRule is the canned alert for a retry storm: the resilience
+// layer's retry counter climbing faster than threshold per second means
+// attempts are churning against a fault retrying cannot fix — a shared
+// filesystem outage, a dead license server — and the backoff budget is
+// being spent on the environment, not the science. Equivalent to the
+// rule string "retry-storm: rate(savanna.retries_total) > <threshold>".
+func RetryStormRule(threshold float64) Rule {
+	return Rule{
+		Name:      "retry-storm",
+		Metric:    "savanna.retries_total",
+		Predicate: Above,
+		Threshold: threshold,
+		Rate:      true,
+	}
+}
+
 // exceeded reports whether value trips the rule's threshold.
 func (r Rule) exceeded(value float64) bool {
 	if r.Predicate == Below {

@@ -24,6 +24,10 @@ const (
 	StatusFailed    Status = "failed"
 	StatusKilled    Status = "killed" // terminated by walltime/allocation end
 	StatusRunning   Status = "running"
+	// StatusSkipped marks a run never attempted: the campaign aborted (stop
+	// condition) before the run was dispatched. Skipped runs stay in the
+	// resubmission set.
+	StatusSkipped Status = "skipped"
 )
 
 // Sensitivity classifies a record or annotation for export decisions.
@@ -86,7 +90,7 @@ func (r Record) Validate() error {
 		return fmt.Errorf("provenance: record %s missing component", r.ID)
 	}
 	switch r.Status {
-	case StatusSucceeded, StatusFailed, StatusKilled, StatusRunning:
+	case StatusSucceeded, StatusFailed, StatusKilled, StatusRunning, StatusSkipped:
 	default:
 		return fmt.Errorf("provenance: record %s has unknown status %q", r.ID, r.Status)
 	}

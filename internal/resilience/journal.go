@@ -1,0 +1,323 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fairflow/internal/cheetah"
+)
+
+// Attempt journal events.
+const (
+	// AttemptStart is written before an execution begins; a start with no
+	// matching terminal event marks a run that was in flight when the engine
+	// process died.
+	AttemptStart = "start"
+	// AttemptSuccess ends a run: it executed and completed.
+	AttemptSuccess = "success"
+	// AttemptCached ends a run satisfied from the memo cache.
+	AttemptCached = "cached"
+	// AttemptFailure records one failed attempt (the run may retry).
+	AttemptFailure = "failure"
+	// AttemptKilled records an attempt cut off by infrastructure (node
+	// failure, walltime); the run requeues without consuming its budget.
+	AttemptKilled = "killed"
+	// AttemptQuarantined marks the run's sweep point side-lined; the run is
+	// terminal-failed and resume must not retry it.
+	AttemptQuarantined = "quarantined"
+	// AttemptSkipped marks a run never attempted because the campaign
+	// aborted first.
+	AttemptSkipped = "skipped"
+)
+
+// AttemptRecord is one line of the attempt journal.
+type AttemptRecord struct {
+	Run     string    `json:"run"`
+	Point   string    `json:"point,omitempty"` // sweep-point key (quarantine identity)
+	Attempt int       `json:"attempt"`
+	Event   string    `json:"event"`
+	Class   Class     `json:"class,omitempty"`
+	Time    time.Time `json:"time"`
+	Err     string    `json:"err,omitempty"`
+}
+
+// Journal is the append-only attempt log. Appends go through O_APPEND so a
+// crash can lose at most the final, partially-written line — which the
+// decoder tolerates — and never corrupts earlier records. Compact rewrites
+// the file through the same atomic temp+rename path the cheetah campaign
+// files use.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (creating if needed) the attempt journal at path. A
+// torn final line left by a killed process is repaired first — completed if
+// it parses, truncated away if it does not — so the resumed process's
+// appends start on a clean line boundary instead of concatenating into the
+// wreckage.
+func OpenJournal(path string) (*Journal, error) {
+	if err := repairTail(path); err != nil {
+		return nil, fmt.Errorf("resilience: repairing journal tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: opening journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// repairTail fixes an unterminated final line: a parseable record gets its
+// newline, garbage is truncated back to the last line boundary.
+func repairTail(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) || err == nil && (len(data) == 0 || data[len(data)-1] == '\n') {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cut := bytes.LastIndexByte(data, '\n') + 1
+	tail := data[cut:]
+	var rec AttemptRecord
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if json.Unmarshal(tail, &rec) == nil && rec.Run != "" {
+		_, err = f.WriteAt([]byte{'\n'}, int64(len(data)))
+		return err
+	}
+	return f.Truncate(int64(cut))
+}
+
+// Path returns the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Append journals one record. A nil journal swallows the write, so engines
+// without a journal configured pay only a nil check.
+func (j *Journal) Append(rec AttemptRecord) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(line)
+	return err
+}
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Compact rewrites the journal keeping one terminal record per finished run
+// (dropping the attempt-by-attempt history), via the atomic temp+rename
+// write path so a crash mid-compaction leaves the previous journal intact.
+func (j *Journal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return err
+	}
+	recs, err := DecodeJournal(data)
+	if err != nil {
+		return err
+	}
+	last := map[string]AttemptRecord{}
+	var order []string
+	for _, r := range recs {
+		if _, seen := last[r.Run]; !seen {
+			order = append(order, r.Run)
+		}
+		last[r.Run] = r
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, run := range order {
+		if err := enc.Encode(last[run]); err != nil {
+			return err
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := cheetah.WriteFileAtomic(j.path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+// DecodeJournal parses an attempt journal. A final line without a
+// terminating newline that fails to parse is discarded — that is the torn
+// write of a process killed mid-append. Any other malformed line is an
+// error: the journal before it is real history that silent truncation would
+// rewrite.
+func DecodeJournal(data []byte) ([]AttemptRecord, error) {
+	var out []AttemptRecord
+	line := 0
+	for len(data) > 0 {
+		line++
+		var row []byte
+		i := bytes.IndexByte(data, '\n')
+		terminated := i >= 0
+		if terminated {
+			row, data = data[:i], data[i+1:]
+		} else {
+			row, data = data, nil
+		}
+		if len(bytes.TrimSpace(row)) == 0 {
+			continue
+		}
+		var rec AttemptRecord
+		if err := json.Unmarshal(row, &rec); err != nil {
+			if !terminated {
+				break // torn final write: ignore
+			}
+			return nil, fmt.Errorf("resilience: journal line %d: %w", line, err)
+		}
+		if rec.Run == "" {
+			if !terminated {
+				break
+			}
+			return nil, fmt.Errorf("resilience: journal line %d: record missing run id", line)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ReadJournalFile loads and decodes a journal; a missing file is an empty
+// journal, not an error (first execution has nothing to resume).
+func ReadJournalFile(path string) ([]AttemptRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeJournal(data)
+}
+
+// ResumeState is the campaign position reconstructed from an attempt
+// journal: which runs are finished, which were mid-flight at the crash,
+// which failed their last attempt, and which sweep points are quarantined.
+type ResumeState struct {
+	// Attempts is the highest attempt number journaled per run.
+	Attempts map[string]int
+	// Done holds runs whose last event is terminal success (success/cached).
+	Done map[string]bool
+	// Failed holds runs whose last event is failure or quarantined.
+	Failed map[string]bool
+	// InFlight holds runs whose last event is a start — they were executing
+	// when the process died and must be re-run.
+	InFlight map[string]bool
+	// QuarantinedPoints holds side-lined sweep-point keys.
+	QuarantinedPoints map[string]bool
+}
+
+// Replay folds journal records (oldest first) into a ResumeState.
+func Replay(recs []AttemptRecord) *ResumeState {
+	s := &ResumeState{
+		Attempts:          map[string]int{},
+		Done:              map[string]bool{},
+		Failed:            map[string]bool{},
+		InFlight:          map[string]bool{},
+		QuarantinedPoints: map[string]bool{},
+	}
+	for _, r := range recs {
+		if r.Attempt > s.Attempts[r.Run] {
+			s.Attempts[r.Run] = r.Attempt
+		}
+		delete(s.Done, r.Run)
+		delete(s.Failed, r.Run)
+		delete(s.InFlight, r.Run)
+		switch r.Event {
+		case AttemptStart:
+			s.InFlight[r.Run] = true
+		case AttemptSuccess, AttemptCached:
+			s.Done[r.Run] = true
+		case AttemptFailure, AttemptQuarantined:
+			s.Failed[r.Run] = true
+			if r.Event == AttemptQuarantined && r.Point != "" {
+				s.QuarantinedPoints[r.Point] = true
+			}
+		}
+		// AttemptKilled and AttemptSkipped leave the run pending: both
+		// requeue on resume.
+	}
+	return s
+}
+
+// Remaining filters runIDs to those not finished — the resume set, in the
+// original order. Quarantined runs are still listed: whether to retry them
+// is the engine's call (Quarantine.Restore carries the decision forward).
+func (s *ResumeState) Remaining(runIDs []string) []string {
+	var out []string
+	for _, id := range runIDs {
+		if s.Done[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// QuarantinedList returns the quarantined point keys, sorted.
+func (s *ResumeState) QuarantinedList() []string {
+	keys := make([]string, 0, len(s.QuarantinedPoints))
+	for k := range s.QuarantinedPoints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

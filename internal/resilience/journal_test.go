@@ -1,0 +1,259 @@
+package resilience
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func stamp(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attempts.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []AttemptRecord{
+		{Run: "g/s/run-0", Point: "i=0", Attempt: 1, Event: AttemptStart, Time: stamp(1)},
+		{Run: "g/s/run-0", Point: "i=0", Attempt: 1, Event: AttemptFailure, Class: ClassTransient, Time: stamp(2), Err: "flaky"},
+		{Run: "g/s/run-0", Point: "i=0", Attempt: 2, Event: AttemptStart, Time: stamp(3)},
+		{Run: "g/s/run-0", Point: "i=0", Attempt: 2, Event: AttemptSuccess, Time: stamp(4)},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeJournalToleratesTornFinalLine(t *testing.T) {
+	full, _ := json.Marshal(AttemptRecord{Run: "r1", Attempt: 1, Event: AttemptStart, Time: stamp(1)})
+	data := append(append([]byte{}, full...), '\n')
+	data = append(data, []byte(`{"run":"r2","attempt":1,"ev`)...) // torn mid-append
+	recs, err := DecodeJournal(data)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Run != "r1" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestDecodeJournalRejectsInteriorCorruption(t *testing.T) {
+	full, _ := json.Marshal(AttemptRecord{Run: "r1", Attempt: 1, Event: AttemptStart, Time: stamp(1)})
+	data := []byte("{broken}\n")
+	data = append(data, full...)
+	data = append(data, '\n')
+	if _, err := DecodeJournal(data); err == nil {
+		t.Fatal("interior corruption must error, not silently truncate history")
+	}
+}
+
+func TestDecodeJournalSkipsBlankLines(t *testing.T) {
+	full, _ := json.Marshal(AttemptRecord{Run: "r1", Attempt: 1, Event: AttemptSuccess, Time: stamp(1)})
+	data := []byte("\n\n" + string(full) + "\n\n")
+	recs, err := DecodeJournal(data)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs = %v, err = %v", recs, err)
+	}
+}
+
+func TestReadJournalFileMissingIsEmpty(t *testing.T) {
+	recs, err := ReadJournalFile(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing journal: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestReplayReconstructsCampaignState(t *testing.T) {
+	recs := []AttemptRecord{
+		// done run
+		{Run: "a", Attempt: 1, Event: AttemptStart},
+		{Run: "a", Attempt: 1, Event: AttemptSuccess},
+		// cached run
+		{Run: "b", Attempt: 1, Event: AttemptCached},
+		// failed-then-recovered run (done)
+		{Run: "c", Attempt: 1, Event: AttemptStart},
+		{Run: "c", Attempt: 1, Event: AttemptFailure, Class: ClassTransient},
+		{Run: "c", Attempt: 2, Event: AttemptStart},
+		{Run: "c", Attempt: 2, Event: AttemptSuccess},
+		// in-flight at the crash
+		{Run: "d", Attempt: 1, Event: AttemptStart},
+		// terminally failed
+		{Run: "e", Attempt: 3, Event: AttemptFailure, Class: ClassPermanent},
+		// quarantined point
+		{Run: "f", Point: "i=6", Attempt: 3, Event: AttemptQuarantined, Class: ClassTransient},
+		// killed by infrastructure (stays pending)
+		{Run: "g", Attempt: 1, Event: AttemptStart},
+		{Run: "g", Attempt: 1, Event: AttemptKilled},
+	}
+	s := Replay(recs)
+	if !s.Done["a"] || !s.Done["b"] || !s.Done["c"] {
+		t.Fatalf("done set wrong: %v", s.Done)
+	}
+	if !s.InFlight["d"] {
+		t.Fatal("crashed in-flight run not detected")
+	}
+	if !s.Failed["e"] || !s.Failed["f"] {
+		t.Fatalf("failed set wrong: %v", s.Failed)
+	}
+	if !s.QuarantinedPoints["i=6"] {
+		t.Fatal("quarantined point lost")
+	}
+	if s.Attempts["c"] != 2 || s.Attempts["e"] != 3 {
+		t.Fatalf("attempt counts wrong: %v", s.Attempts)
+	}
+	all := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	rem := s.Remaining(all)
+	want := "d,e,f,g,h"
+	if got := strings.Join(rem, ","); got != want {
+		t.Fatalf("remaining = %s, want %s", got, want)
+	}
+	if got := s.QuarantinedList(); len(got) != 1 || got[0] != "i=6" {
+		t.Fatalf("QuarantinedList = %v", got)
+	}
+}
+
+func TestJournalCompactKeepsTerminalState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attempts.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(AttemptRecord{Run: "a", Attempt: 1, Event: AttemptStart, Time: stamp(1)})
+	j.Append(AttemptRecord{Run: "a", Attempt: 1, Event: AttemptFailure, Class: ClassTransient, Time: stamp(2)})
+	j.Append(AttemptRecord{Run: "a", Attempt: 2, Event: AttemptStart, Time: stamp(3)})
+	j.Append(AttemptRecord{Run: "a", Attempt: 2, Event: AttemptSuccess, Time: stamp(4)})
+	j.Append(AttemptRecord{Run: "b", Attempt: 1, Event: AttemptStart, Time: stamp(5)})
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal must stay appendable after compaction.
+	j.Append(AttemptRecord{Run: "b", Attempt: 1, Event: AttemptSuccess, Time: stamp(6)})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("compacted journal has %d records, want 3", len(recs))
+	}
+	s := Replay(recs)
+	if !s.Done["a"] || !s.Done["b"] {
+		t.Fatalf("compaction lost terminal state: %v", s.Done)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(AttemptRecord{Run: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != "" {
+		t.Fatal("nil journal path")
+	}
+}
+
+// FuzzJournalDecode pins the decoder's crash-tolerance contract: arbitrary
+// bytes never panic, and whatever decodes must re-encode to a journal that
+// decodes to the same records (round-trip stability).
+func FuzzJournalDecode(f *testing.F) {
+	full, _ := json.Marshal(AttemptRecord{Run: "r", Point: "i=1", Attempt: 2, Event: AttemptFailure, Class: ClassTransient, Time: stamp(7), Err: "x"})
+	f.Add(append(append([]byte{}, full...), '\n'))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"run":"a","attempt":1,"event":"start"}` + "\n" + `{"run":"b","att`))
+	f.Add([]byte("{broken}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeJournal(data)
+		if err != nil {
+			return
+		}
+		var buf []byte
+		for _, r := range recs {
+			if r.Run == "" {
+				t.Fatal("decoder admitted a record without a run id")
+			}
+			line, merr := json.Marshal(r)
+			if merr != nil {
+				t.Fatalf("re-encoding decoded record: %v", merr)
+			}
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
+		}
+		again, err := DecodeJournal(buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d != %d", len(again), len(recs))
+		}
+	})
+}
+
+func TestJournalSurvivesProcessCrashSimulation(t *testing.T) {
+	// Simulate a kill -9 mid-append: write a valid prefix plus a torn tail
+	// directly, then resume through the normal read path.
+	path := filepath.Join(t.TempDir(), "attempts.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(AttemptRecord{Run: "a", Attempt: 1, Event: AttemptSuccess, Time: stamp(1)})
+	j.Append(AttemptRecord{Run: "b", Attempt: 1, Event: AttemptStart, Time: stamp(2)})
+	j.Close() // the "crash" loses nothing already appended
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"run":"c","attempt":1,"eve`) // torn
+	f.Close()
+
+	recs, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Replay(recs)
+	if !s.Done["a"] || !s.InFlight["b"] {
+		t.Fatalf("resume state wrong after torn write: done=%v inflight=%v", s.Done, s.InFlight)
+	}
+	// The resumed process appends to the same file.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Append(AttemptRecord{Run: "b", Attempt: 2, Event: AttemptSuccess, Time: stamp(3)}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package savanna
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"fairflow/internal/cheetah"
+	"fairflow/internal/resilience"
 )
 
 // ProcessExecutor runs each campaign run as an operating-system process —
@@ -51,6 +53,15 @@ func Substitute(tmpl string, run cheetah.Run) (string, error) {
 
 // Execute implements Executor.
 func (p *ProcessExecutor) Execute(run cheetah.Run) error {
+	return p.ExecuteContext(context.Background(), run)
+}
+
+// ExecuteContext implements ContextExecutor: when ctx ends — per-run
+// deadline, campaign cancellation, or an operator interrupt — the child's
+// whole process group is killed, so a wedged subprocess (or anything it
+// forked) cannot hold a worker hostage. Timeout still applies on top as the
+// executor-local walltime.
+func (p *ProcessExecutor) ExecuteContext(ctx context.Context, run cheetah.Run) error {
 	if len(p.Command) == 0 {
 		return fmt.Errorf("savanna: process executor needs a command")
 	}
@@ -58,18 +69,24 @@ func (p *ProcessExecutor) Execute(run cheetah.Run) error {
 	for i, tmpl := range p.Command {
 		expanded, err := Substitute(tmpl, run)
 		if err != nil {
-			return err
+			return resilience.MarkPermanent(err) // a bad template fails every attempt
 		}
 		argv[i] = expanded
 	}
 
-	ctx := context.Background()
 	if p.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
 		defer cancel()
 	}
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	// Kill the child's process group, not just the child: runs are often
+	// wrapper scripts, and an orphaned grandchild would keep the run's files
+	// open. WaitDelay bounds how long Wait lingers after the kill if the
+	// child wedged in an unkillable state or a grandchild inherited stdout.
+	setProcessGroup(cmd)
+	cmd.Cancel = func() error { return killProcessGroup(cmd) }
+	cmd.WaitDelay = 5 * time.Second
 
 	if p.WorkRoot != "" {
 		dir := filepath.Join(p.WorkRoot, filepath.FromSlash(run.ID))
@@ -99,7 +116,19 @@ func (p *ProcessExecutor) Execute(run cheetah.Run) error {
 
 	if err := cmd.Run(); err != nil {
 		if ctx.Err() == context.DeadlineExceeded {
-			return fmt.Errorf("savanna: run %s exceeded %s walltime", run.ID, p.Timeout)
+			// Wrap the context error so resilience.Classify reads this as
+			// ClassDeadline without an explicit mark.
+			return fmt.Errorf("savanna: run %s exceeded walltime: %w", run.ID, context.DeadlineExceeded)
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("savanna: run %s cancelled: %w", run.ID, ctx.Err())
+		}
+		// A clean non-zero exit is the application rejecting its parameters —
+		// deterministic, so retrying wastes the budget. Spawn errors and
+		// signal deaths stay transient (the default class).
+		var exit *exec.ExitError
+		if errors.As(err, &exit) && exit.Exited() {
+			return resilience.MarkPermanent(fmt.Errorf("savanna: run %s: %w", run.ID, err))
 		}
 		return fmt.Errorf("savanna: run %s: %w", run.ID, err)
 	}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package savanna
+
+import "os/exec"
+
+// setProcessGroup is a no-op where process groups are unavailable; the
+// cancellation kills only the immediate child.
+func setProcessGroup(*exec.Cmd) {}
+
+// killProcessGroup kills the immediate child.
+func killProcessGroup(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

@@ -1,6 +1,7 @@
 package savanna
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"fairflow/internal/cheetah"
 	"fairflow/internal/provenance"
+	"fairflow/internal/resilience"
 )
 
 func TestSubstitute(t *testing.T) {
@@ -124,5 +126,49 @@ func TestProcessExecutorThroughLocalEngine(t *testing.T) {
 	}
 	if failed != 1 {
 		t.Fatalf("failed = %d, want exactly the planted failure", failed)
+	}
+}
+
+// TestProcessExecutorContextKillsSleepingChild: cancelling the attempt's
+// context kills the subprocess (and its process group) promptly — a wedged
+// child must not hold its worker past the deadline.
+func TestProcessExecutorContextKillsSleepingChild(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "still-alive")
+	exe := &ProcessExecutor{
+		// The child forks a grandchild that would outlive a naive kill and
+		// prove the group signal works by NOT writing its marker.
+		Command: []string{"sh", "-c", "(sleep 30; touch " + marker + ") & sleep 30"},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := exe.ExecuteContext(ctx, cheetah.Run{ID: "wedged"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("kill took %s — child not killed on cancel", elapsed)
+	}
+	if resilience.Classify(err) != resilience.ClassDeadline {
+		t.Fatalf("deadline kill classified %q (%v)", resilience.Classify(err), err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, statErr := os.Stat(marker); statErr == nil {
+		t.Fatal("grandchild survived the process-group kill")
+	}
+}
+
+// TestProcessExecutorClassifiesExits: a clean non-zero exit is permanent
+// (the application rejected its parameters); a bad template likewise.
+func TestProcessExecutorClassifiesExits(t *testing.T) {
+	exit3 := &ProcessExecutor{Command: []string{"sh", "-c", "exit 3"}}
+	if err := exit3.Execute(cheetah.Run{ID: "r"}); resilience.Classify(err) != resilience.ClassPermanent {
+		t.Fatalf("non-zero exit classified %q", resilience.Classify(err))
+	}
+	bad := &ProcessExecutor{Command: []string{"echo", "{missing}"}}
+	if err := bad.Execute(cheetah.Run{ID: "r"}); resilience.Classify(err) != resilience.ClassPermanent {
+		t.Fatalf("bad template classified %q", resilience.Classify(err))
 	}
 }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package savanna
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcessGroup puts the child in its own process group so a cancellation
+// can reach everything the run spawned, not just the immediate child.
+func setProcessGroup(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Setpgid = true
+}
+
+// killProcessGroup delivers SIGKILL to the child's process group. Falls back
+// to killing just the child when the group signal fails (e.g. the child died
+// before Setpgid took effect).
+func killProcessGroup(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

@@ -16,6 +16,7 @@ package savanna
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,14 +25,50 @@ import (
 	"fairflow/internal/cas"
 	"fairflow/internal/cheetah"
 	"fairflow/internal/provenance"
+	"fairflow/internal/resilience"
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
 )
 
 // Executor runs one campaign run in-process.
 type Executor interface {
-	// Execute performs the run; a non-nil error marks it failed.
+	// Execute performs the run; a non-nil error marks it failed. Executors
+	// classify their failures with the resilience.Mark* wrappers; an
+	// unmarked error is treated as transient.
 	Execute(run cheetah.Run) error
+}
+
+// ContextExecutor is an Executor that honours cancellation: the engine
+// prefers ExecuteContext when available, passing a context that carries the
+// per-run deadline and the campaign's cancellation. Executors that spawn
+// processes must kill them when the context ends — a wedged child must not
+// hang its worker forever.
+type ContextExecutor interface {
+	Executor
+	ExecuteContext(ctx context.Context, run cheetah.Run) error
+}
+
+// PointKey renders a run's sweep point as a stable string — the quarantine
+// identity shared by every attempt at that parameter combination.
+func PointKey(run cheetah.Run) string {
+	if len(run.Params) == 0 {
+		return run.ID
+	}
+	keys := make([]string, 0, len(run.Params))
+	for k := range run.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(run.Params[k])
+	}
+	return b.String()
 }
 
 // FuncRegistry maps app names to Go functions — the in-process executor
@@ -61,7 +98,8 @@ func (r *FuncRegistry) Execute(run cheetah.Run) error {
 	fn := r.apps[r.app]
 	r.mu.RUnlock()
 	if fn == nil {
-		return fmt.Errorf("savanna: no implementation registered for app %q", r.app)
+		// No amount of retrying conjures an implementation.
+		return resilience.MarkPermanent(fmt.Errorf("savanna: no implementation registered for app %q", r.app))
 	}
 	return fn(run.Params)
 }
@@ -75,6 +113,12 @@ type RunResult struct {
 	// Cached marks a run satisfied from the memo's action cache — nothing
 	// was executed.
 	Cached bool
+	// Attempts is how many executions the run consumed (1 for first-try
+	// success, 0 for cached or skipped runs).
+	Attempts int
+	// Quarantined marks a run terminally side-lined by the circuit breaker:
+	// its sweep point kept failing and was removed from the retry budget.
+	Quarantined bool
 }
 
 // LocalEngine executes manifests in-process with a bounded worker pool (the
@@ -91,9 +135,15 @@ type LocalEngine struct {
 	// directory schema.
 	CampaignDir string
 	// Retries re-executes a failed run up to this many extra times before
-	// recording it failed — in-engine handling of the transient failures
-	// that otherwise force a whole-campaign resubmission.
+	// recording it failed — the legacy knob, equivalent to a Resilience
+	// config of {Retry: {MaxAttempts: Retries + 1}}. Ignored when Resilience
+	// is set.
 	Retries int
+	// Resilience, when non-nil, arms the full fault-tolerance stack:
+	// classified retries with decorrelated-jitter backoff, per-run
+	// deadlines, sweep-point quarantine, the journaled attempt log that
+	// fairctl resume replays, and the campaign-level stop condition.
+	Resilience *resilience.Config
 	// Memo, when non-nil, memoizes whole runs: a run whose (component
 	// digest, sweep point, input digests) recipe is already cached is
 	// skipped entirely, and successful executions are recorded for the
@@ -120,11 +170,14 @@ type LocalEngine struct {
 
 	// telOnce resolves the instruments once so executeOne never touches the
 	// registry lock.
-	telOnce   sync.Once
-	mExecuted *telemetry.Counter
-	mCached   *telemetry.Counter
-	mFailed   *telemetry.Counter
-	hRunSecs  *telemetry.Histogram
+	telOnce      sync.Once
+	mExecuted    *telemetry.Counter
+	mCached      *telemetry.Counter
+	mFailed      *telemetry.Counter
+	mRetries     *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	hRunSecs     *telemetry.Histogram
+	hAttempts    *telemetry.Histogram
 }
 
 // telemetryInit resolves the engine's instruments (no-ops when Metrics is
@@ -134,7 +187,10 @@ func (e *LocalEngine) telemetryInit() {
 		e.mExecuted = e.Metrics.Counter("savanna.runs_executed_total")
 		e.mCached = e.Metrics.Counter("savanna.runs_cached_total")
 		e.mFailed = e.Metrics.Counter("savanna.runs_failed_total")
+		e.mRetries = e.Metrics.Counter("savanna.retries_total")
+		e.mQuarantined = e.Metrics.Counter("savanna.quarantined_total")
 		e.hRunSecs = e.Metrics.Histogram("savanna.run_seconds", nil)
+		e.hAttempts = e.Metrics.Histogram("savanna.run_attempts", []float64{1, 2, 3, 5, 8, 13})
 	})
 }
 
@@ -149,15 +205,38 @@ func (e *LocalEngine) validate() error {
 	return nil
 }
 
+// controller builds the campaign's resilience runtime. Without an explicit
+// Resilience config the legacy Retries knob is honoured: immediate retries,
+// no quarantine, no journal, no stop condition.
+func (e *LocalEngine) controller() *resilience.Controller {
+	if e.Resilience != nil {
+		return resilience.NewController(*e.Resilience)
+	}
+	return resilience.NewController(resilience.Config{
+		Retry: resilience.RetryPolicy{MaxAttempts: e.Retries + 1},
+	})
+}
+
 // RunAll executes the given runs with dynamic scheduling: workers pull the
 // next run as soon as they free up. Results are returned in the input
 // order.
 func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, error) {
+	results, _, err := e.RunCampaign(context.Background(), campaign, runs)
+	return results, err
+}
+
+// RunCampaign is RunAll with the full fault-tolerance contract surfaced: the
+// context cancels the campaign (in-flight runs are killed, undispatched runs
+// journal as skipped — exactly the state "fairctl resume" restarts from),
+// and the returned CompletenessReport accounts for every run whether or not
+// the campaign ran to the end.
+func (e *LocalEngine) RunCampaign(ctx context.Context, campaign string, runs []cheetah.Run) ([]RunResult, resilience.CompletenessReport, error) {
 	if err := e.validate(); err != nil {
-		return nil, err
+		return nil, resilience.CompletenessReport{}, err
 	}
 	e.telemetryInit()
-	ctx, campaignSpan := e.Tracer.Start(context.Background(), "savanna.campaign",
+	rc := e.controller()
+	ctx, campaignSpan := e.Tracer.Start(ctx, "savanna.campaign",
 		telemetry.String("campaign", campaign),
 		telemetry.String("discipline", "dynamic"),
 		telemetry.Int("runs", len(runs)))
@@ -171,19 +250,37 @@ func (e *LocalEngine) RunAll(campaign string, runs []cheetah.Run) ([]RunResult, 
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = e.executeOne(ctx, campaign, runs[i])
+				results[i] = e.executeOne(ctx, campaign, runs[i], rc)
 			}
 		}()
 	}
 	for i := range runs {
+		if _, aborted := rc.Aborted(); aborted || ctx.Err() != nil {
+			results[i] = e.skipOne(campaign, runs[i], rc)
+			continue
+		}
 		work <- i
 	}
 	close(work)
 	wg.Wait()
-	campaignSpan.End()
-	e.Events.Append(eventlog.Info, eventlog.CampaignDone, campaign, campaignSpan.ID(),
+	report := e.finishCampaign(campaign, campaignSpan, rc, len(runs))
+	return results, report, nil
+}
+
+// finishCampaign closes the campaign span, emits the abort/done events and
+// renders the completeness report (shared by both disciplines).
+func (e *LocalEngine) finishCampaign(campaign string, span *telemetry.Span, rc *resilience.Controller, total int) resilience.CompletenessReport {
+	if reason, aborted := rc.Aborted(); aborted {
+		e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, span.ID(),
+			telemetry.String("campaign", campaign))
+	}
+	span.End()
+	e.Events.Append(eventlog.Info, eventlog.CampaignDone, campaign, span.ID(),
 		telemetry.String("campaign", campaign))
-	return results, nil
+	if e.Resilience != nil {
+		e.Resilience.Journal.Sync()
+	}
+	return rc.Report(total)
 }
 
 // RunSets executes runs in barrier-synchronized sets of setSize — the
@@ -197,6 +294,7 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 		return nil, fmt.Errorf("savanna: set size must be ≥1")
 	}
 	e.telemetryInit()
+	rc := e.controller()
 	ctx, campaignSpan := e.Tracer.Start(context.Background(), "savanna.campaign",
 		telemetry.String("campaign", campaign),
 		telemetry.String("discipline", "set-synchronized"),
@@ -212,27 +310,56 @@ func (e *LocalEngine) RunSets(campaign string, runs []cheetah.Run, setSize int) 
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, e.Workers)
 		for i := lo; i < hi; i++ {
+			if _, aborted := rc.Aborted(); aborted {
+				results[i] = e.skipOne(campaign, runs[i], rc)
+				continue
+			}
 			i := i
 			wg.Add(1)
 			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i] = e.executeOne(ctx, campaign, runs[i])
+				results[i] = e.executeOne(ctx, campaign, runs[i], rc)
 			}()
 		}
 		wg.Wait() // the set barrier
 	}
-	campaignSpan.End()
-	e.Events.Append(eventlog.Info, eventlog.CampaignDone, campaign, campaignSpan.ID(),
-		telemetry.String("campaign", campaign))
+	e.finishCampaign(campaign, campaignSpan, rc, len(runs))
 	return results, nil
 }
 
-func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheetah.Run) RunResult {
+// execute performs one attempt, applying the per-run deadline and routing
+// through ExecuteContext when the executor supports cancellation.
+func (e *LocalEngine) execute(ctx context.Context, run cheetah.Run, rc *resilience.Controller) error {
+	if d := rc.RunDeadline(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if cx, ok := e.Executor.(ContextExecutor); ok {
+		return cx.ExecuteContext(ctx, run)
+	}
+	return e.Executor.Execute(run)
+}
+
+// skipOne records a run the campaign never dispatched (abort latch tripped
+// or the campaign context was cancelled first). Skipped runs journal as
+// skipped and keep their pending status on disk, so both resume paths — the
+// attempt journal and the campaign directory — list them as still owed.
+func (e *LocalEngine) skipOne(campaign string, run cheetah.Run, rc *resilience.Controller) RunResult {
+	rc.JournalAttempt(run.ID, PointKey(run), 0, resilience.AttemptSkipped, "", nil)
+	rc.NoteOutcome(resilience.OutcomeSkipped)
+	e.appendProvenance(campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false)
+	return RunResult{Run: run, Status: provenance.StatusSkipped}
+}
+
+func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheetah.Run, rc *resilience.Controller) RunResult {
 	start := time.Now()
 	_, span := e.Tracer.Start(ctx, "savanna.run", telemetry.String("run", run.ID))
 	e.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(), telemetry.String("run", run.ID))
+	point := PointKey(run)
+	q := rc.Quarantine()
 
 	// Memoized skip path: an unchanged (component, sweep point, inputs)
 	// recipe means this run's outputs already exist — record it succeeded
@@ -244,6 +371,8 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 				cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunSucceeded)
 			}
 			e.appendProvenance(campaign, run, provenance.StatusSucceeded, elapsed, cached, true)
+			rc.JournalAttempt(run.ID, point, 0, resilience.AttemptCached, "", nil)
+			rc.NoteOutcome(resilience.OutcomeCached)
 			e.mCached.Inc()
 			e.hRunSecs.Observe(elapsed.Seconds())
 			span.End(telemetry.Bool("cached", true))
@@ -252,19 +381,56 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 		}
 	}
 
+	// Quarantine gate: a sweep point already side-lined (by an earlier run at
+	// the same point, or restored from a resumed journal) fails without
+	// spending an attempt.
+	if !q.Allow(point) {
+		return e.quarantineOne(campaign, run, span, rc, point, 0, nil)
+	}
+
 	if e.CampaignDir != "" {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunRunning)
 	}
-	err := e.Executor.Execute(run)
-	for retry := 0; err != nil && retry < e.Retries; retry++ {
-		err = e.Executor.Execute(run)
-	}
-	var recorded cas.ActionResult
-	if err == nil && e.Memo != nil && e.Memo.validate() == nil {
-		recorded, err = e.Memo.record(run) // a failed record is a failed run: its reuse contract is broken
+
+	maxAttempts := rc.Attempts()
+	var (
+		err      error
+		recorded cas.ActionResult
+		attempt  int
+		prev     time.Duration
+	)
+	for {
+		attempt++
+		rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptStart, "", nil)
+		err = e.execute(ctx, run, rc)
+		if err == nil && e.Memo != nil && e.Memo.validate() == nil {
+			recorded, err = e.Memo.record(run) // a failed record is a failed run: its reuse contract is broken
+		}
+		if err == nil {
+			q.NoteSuccess(point)
+			rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptSuccess, "", nil)
+			break
+		}
+		class := resilience.Classify(err)
+		rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptFailure, class, err)
+		if q.NoteFailure(point) {
+			return e.quarantineOne(campaign, run, span, rc, point, attempt, err)
+		}
+		if !class.Retryable() || attempt >= maxAttempts || ctx.Err() != nil {
+			break
+		}
+		prev = rc.Backoff(prev)
+		rc.NoteRetry()
+		e.mRetries.Inc()
+		e.Events.Append(eventlog.Warn, eventlog.RunRetry, err.Error(), span.ID(),
+			telemetry.String("run", run.ID), telemetry.Int("attempt", attempt),
+			telemetry.String("class", string(class)), telemetry.Int("delay_ms", int(prev.Milliseconds())))
+		if rc.Sleep(ctx, prev) != nil {
+			break // campaign cancelled mid-backoff; err keeps the last failure
+		}
 	}
 	elapsed := time.Since(start)
-	res := RunResult{Run: run, Seconds: elapsed.Seconds()}
+	res := RunResult{Run: run, Seconds: elapsed.Seconds(), Attempts: attempt}
 	status := provenance.StatusSucceeded
 	dirStatus := cheetah.RunSucceeded
 	if err != nil {
@@ -277,23 +443,64 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, dirStatus)
 	}
 	e.appendProvenance(campaign, run, status, elapsed, recorded, false)
+	e.hRunSecs.Observe(elapsed.Seconds())
+	e.hAttempts.Observe(float64(attempt))
 	if err != nil {
 		// The failure's cause rides both observability channels: an "error"
 		// span attribute (visible in fairctl trace and the Chrome export)
 		// and an ERROR journal event under the same span.
+		if rc.NoteOutcome(resilience.OutcomeFailed) {
+			reason, _ := rc.Aborted()
+			e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, span.ID(),
+				telemetry.String("campaign", campaign))
+		}
 		e.mFailed.Inc()
-		e.hRunSecs.Observe(elapsed.Seconds())
 		span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)),
-			telemetry.String("error", err.Error()))
+			telemetry.String("error", err.Error()), telemetry.Int("attempts", attempt))
 		e.Events.Append(eventlog.Error, eventlog.RunFailed, err.Error(), span.ID(),
-			telemetry.String("run", run.ID))
+			telemetry.String("run", run.ID), telemetry.Int("attempts", attempt))
 		return res
 	}
+	rc.NoteOutcome(resilience.OutcomeSucceeded)
 	e.mExecuted.Inc()
-	e.hRunSecs.Observe(elapsed.Seconds())
-	span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)))
+	span.End(telemetry.Bool("cached", false), telemetry.String("status", string(status)),
+		telemetry.Int("attempts", attempt))
 	e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(), telemetry.String("run", run.ID))
 	return res
+}
+
+// quarantineOne closes out a run whose sweep point is (or just became)
+// side-lined by the circuit breaker. attempt is 0 when the gate rejected the
+// run before any execution.
+func (e *LocalEngine) quarantineOne(campaign string, run cheetah.Run, span *telemetry.Span, rc *resilience.Controller, point string, attempt int, cause error) RunResult {
+	msg := "sweep point " + point + " quarantined"
+	if cause != nil {
+		msg = cause.Error()
+	}
+	rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptQuarantined, resilience.Classify(cause), cause)
+	if e.CampaignDir != "" {
+		cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunFailed)
+	}
+	e.appendProvenance(campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	if attempt > 0 {
+		e.hAttempts.Observe(float64(attempt))
+	}
+	if rc.NoteOutcome(resilience.OutcomeQuarantined) {
+		reason, _ := rc.Aborted()
+		e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, span.ID(),
+			telemetry.String("campaign", campaign))
+	}
+	e.mQuarantined.Inc()
+	e.mFailed.Inc()
+	span.End(telemetry.Bool("cached", false), telemetry.String("status", "failed"),
+		telemetry.Bool("quarantined", true), telemetry.Int("attempts", attempt))
+	e.Events.Append(eventlog.Error, eventlog.RunQuarantined, msg, span.ID(),
+		telemetry.String("run", run.ID), telemetry.String("point", point),
+		telemetry.Int("attempts", attempt))
+	return RunResult{
+		Run: run, Status: provenance.StatusFailed, Err: msg,
+		Attempts: attempt, Quarantined: true,
+	}
 }
 
 // appendProvenance emits one run's provenance record, carrying the memo's
@@ -323,25 +530,26 @@ func (e *LocalEngine) appendProvenance(campaign string, run cheetah.Run, status 
 	e.Prov.Append(rec)
 }
 
-// Remaining filters a manifest's runs to those without a succeeded
-// provenance record — the resubmission set. "Users may simply re-submit a
+// Remaining filters a manifest's runs to the resubmission set: runs whose
+// *latest* provenance record is not a success. "Users may simply re-submit a
 // partially completed SweepGroup of parameters to continue execution."
+// Last-record-wins matters: a run that succeeded once but whose most recent
+// re-execution failed must resurface — its published outputs no longer match
+// its recorded provenance.
 func Remaining(m *cheetah.Manifest, prov *provenance.Store) []cheetah.Run {
-	done := map[string]bool{}
-	for _, rec := range prov.Select(provenance.Query{
-		CampaignID: m.Campaign.Name,
-		Status:     provenance.StatusSucceeded,
-	}) {
+	last := map[string]provenance.Status{}
+	for _, rec := range prov.Select(provenance.Query{CampaignID: m.Campaign.Name}) {
 		// Record IDs are "<campaign>/<runID>#<attempt>"; strip the attempt.
+		// Select returns insertion order, so later records overwrite earlier.
 		id := rec.ID
 		if i := strings.LastIndexByte(id, '#'); i >= 0 {
 			id = id[:i]
 		}
-		done[id] = true
+		last[id] = rec.Status
 	}
 	var out []cheetah.Run
 	for _, run := range m.Runs {
-		if !done[m.Campaign.Name+"/"+run.ID] {
+		if last[m.Campaign.Name+"/"+run.ID] != provenance.StatusSucceeded {
 			out = append(out, run)
 		}
 	}

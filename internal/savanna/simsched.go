@@ -10,6 +10,7 @@ import (
 
 	"fairflow/internal/cheetah"
 	"fairflow/internal/hpcsim"
+	"fairflow/internal/resilience"
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
 )
@@ -45,6 +46,24 @@ func TruncatedLogNormalDurations(medianSeconds, sigma, maxSeconds float64) Durat
 	}
 }
 
+// FaultModel injects application-level failures into the simulation: it is
+// consulted each time a simulated task runs to completion, and a non-nil
+// error fails that attempt with the error's resilience class — the knob the
+// chaos tests turn. The rng is deterministic per (run, attempt) so a seeded
+// campaign replays identically.
+type FaultModel func(run cheetah.Run, attempt int, rng *rand.Rand) error
+
+// FlakyFaults returns a FaultModel that fails each attempt independently
+// with probability p, transient class.
+func FlakyFaults(p float64) FaultModel {
+	return func(run cheetah.Run, attempt int, rng *rand.Rand) error {
+		if rng.Float64() < p {
+			return resilience.MarkTransient(fmt.Errorf("injected transient fault on %s attempt %d", run.ID, attempt))
+		}
+		return nil
+	}
+}
+
 // SimEngine executes campaign runs on a simulated cluster allocation.
 type SimEngine struct {
 	// Durations predicts per-run cost.
@@ -55,6 +74,14 @@ type SimEngine struct {
 	// allocation's cluster: failing nodes kill their runs (which requeue)
 	// and leave the allocation degraded until the walltime.
 	Failures hpcsim.FailureConfig
+	// Resilience, when non-nil, arms the same fault-tolerance stack as
+	// LocalEngine — classified retries, quarantine, attempt journal, stop
+	// condition — except that retry backoff advances *virtual* time: a
+	// multi-minute backoff schedule costs the simulation nothing real.
+	Resilience *resilience.Config
+	// FaultModel, when non-nil, injects application faults (node failures
+	// come from Failures; this models the application itself failing).
+	FaultModel FaultModel
 	// Tracer, Metrics and Events mirror LocalEngine's observability wiring,
 	// but stamped in virtual time: the engine drives the tracer's and
 	// journal's clocks from the simulation, offset so spans from successive
@@ -74,10 +101,47 @@ type SimEngine struct {
 	// campaignCtx parents allocation spans under RunToCompletion's
 	// campaign span.
 	campaignCtx context.Context
+	// rc is the campaign's resilience runtime; RunToCompletion installs one
+	// for the whole resubmission loop, a standalone RunAllocation gets its
+	// own. attempts and prevDelay carry per-run retry state across
+	// allocations (an infra kill refunds its attempt).
+	rc        *resilience.Controller
+	attempts  map[string]int
+	prevDelay map[string]time.Duration
+	// sim is the current allocation's event queue (for virtual-time backoff).
+	sim *hpcsim.Sim
 	// Instruments, resolved once per allocation.
-	mExecuted *telemetry.Counter
-	mKilled   *telemetry.Counter
-	hRunSecs  *telemetry.Histogram
+	mExecuted    *telemetry.Counter
+	mKilled      *telemetry.Counter
+	mFailed      *telemetry.Counter
+	mRetries     *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	hRunSecs     *telemetry.Histogram
+	hAttempts    *telemetry.Histogram
+}
+
+// controller builds the sim campaign's resilience runtime (a default one
+// when no Resilience config is set: single attempt, no quarantine).
+func (e *SimEngine) controller() *resilience.Controller {
+	if e.Resilience != nil {
+		return resilience.NewController(*e.Resilience)
+	}
+	return resilience.NewController(resilience.Config{})
+}
+
+// resetResilience installs a fresh controller and per-run retry state.
+func (e *SimEngine) resetResilience() {
+	e.rc = e.controller()
+	e.attempts = map[string]int{}
+	e.prevDelay = map[string]time.Duration{}
+}
+
+// faultRNG derives the deterministic random stream for one (run, attempt)
+// fault decision.
+func (e *SimEngine) faultRNG(run cheetah.Run, attempt int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(run.ID))
+	return rand.New(rand.NewSource(e.Seed ^ int64(h.Sum64()) ^ int64(attempt)*1_000_003))
 }
 
 // setVirtualClock points the engine's tracer and journal at the virtual
@@ -107,6 +171,10 @@ func (e *SimEngine) runDuration(run cheetah.Run) float64 {
 type AllocationOutcome struct {
 	// Completed lists the runs that finished inside the walltime.
 	Completed []cheetah.Run
+	// Failed lists runs that ended terminally inside this allocation:
+	// retry budget exhausted, permanent failure, or quarantined sweep point.
+	// Unlike walltime-killed runs they must NOT be resubmitted.
+	Failed []cheetah.Run
 	// Killed counts runs that were started but cut off at the walltime.
 	Killed int
 	// WallSeconds is the allocation time actually used (≤ walltime).
@@ -145,9 +213,23 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 	sim := hpcsim.New(clusterSeed)
 	base := e.clockBase
 	e.setVirtualClock(func() float64 { return base + sim.Now() })
+	if e.rc == nil {
+		// Standalone allocation (not under RunToCompletion): own runtime.
+		e.resetResilience()
+		defer func() { e.rc = nil }()
+	}
+	// Journal stamps advance with the simulation, not the wall clock.
+	e.rc.SetNow(func() time.Time {
+		return time.Unix(0, 0).Add(time.Duration((base + sim.Now()) * float64(time.Second)))
+	})
+	e.sim = sim
 	e.mExecuted = e.Metrics.Counter("savanna.runs_executed_total")
 	e.mKilled = e.Metrics.Counter("savanna.runs_killed_total")
+	e.mFailed = e.Metrics.Counter("savanna.runs_failed_total")
+	e.mRetries = e.Metrics.Counter("savanna.retries_total")
+	e.mQuarantined = e.Metrics.Counter("savanna.quarantined_total")
 	e.hRunSecs = e.Metrics.Histogram("savanna.run_seconds", nil)
+	e.hAttempts = e.Metrics.Histogram("savanna.run_attempts", []float64{1, 2, 3, 5, 8, 13})
 	cluster := hpcsim.NewCluster(sim, hpcsim.ClusterConfig{Nodes: nodes}, clusterSeed+1)
 	cluster.SetMetrics(e.Metrics)
 	cluster.SetEvents(e.Events)
@@ -172,7 +254,7 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 		e.Probe(sim, cluster)
 	}
 
-	pending := append([]cheetah.Run(nil), runs...)
+	st := &allocState{pending: append([]cheetah.Run(nil), runs...), out: out}
 	var started float64
 	_, err := cluster.Submit(hpcsim.JobSpec{
 		Name:     "pilot",
@@ -182,9 +264,9 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 			started = sim.Now()
 			switch d {
 			case Dynamic:
-				e.runDynamic(ctx, a, &pending, out)
+				e.runDynamic(ctx, a, st)
 			case SetSynchronized:
-				e.runSets(ctx, a, &pending, out)
+				e.runSets(ctx, a, st)
 			}
 		},
 	})
@@ -198,7 +280,7 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 		telemetry.Int("completed", len(out.Completed)), telemetry.Int("killed", out.Killed))
 	e.clockBase = base + sim.Now()
 	end := started + walltime
-	if len(pending) == 0 && out.Killed == 0 {
+	if len(st.pending) == 0 && out.Killed == 0 {
 		// Finished early; measure to the last busy moment.
 		_, last := cluster.Util().Span()
 		if last > started {
@@ -211,30 +293,155 @@ func (e *SimEngine) RunAllocation(runs []cheetah.Run, nodes int, walltime float6
 	return out, nil
 }
 
+// allocState is one allocation's scheduling state: the work queue, the
+// outcome under construction, and the count of retries parked on virtual
+// timers — the allocation must not release while one is still pending.
+type allocState struct {
+	pending []cheetah.Run
+	out     *AllocationOutcome
+	waiting int
+}
+
+// simDisposition is how one simulated attempt ended, from the scheduler's
+// point of view.
+type simDisposition int
+
+const (
+	// simCompleted: the run finished; it leaves the campaign.
+	simCompleted simDisposition = iota
+	// simRequeueNow: infrastructure cut the attempt off (node failure,
+	// walltime); requeue immediately, no attempt consumed.
+	simRequeueNow
+	// simRetryAfter: the attempt failed transiently; requeue after the
+	// backoff delay elapses in virtual time.
+	simRetryAfter
+	// simFailed: terminal failure (budget exhausted, permanent class, or
+	// quarantined); the run must not be resubmitted.
+	simFailed
+)
+
+// noteOutcome tallies a terminal outcome, emitting the campaign-abort event
+// when this outcome trips the stop condition.
+func (e *SimEngine) noteOutcome(kind string) {
+	if e.rc.NoteOutcome(kind) {
+		reason, _ := e.rc.Aborted()
+		e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, 0)
+	}
+}
+
+// nextPending pops the next runnable pending run, disposing quarantined
+// sweep points as terminal failures along the way. When the campaign abort
+// latch has tripped the queue is cleared untallied — RunToCompletion
+// accounts the skips once, against the full remaining set.
+func (e *SimEngine) nextPending(st *allocState) (cheetah.Run, bool) {
+	if _, aborted := e.rc.Aborted(); aborted {
+		st.pending = nil
+		return cheetah.Run{}, false
+	}
+	for len(st.pending) > 0 {
+		run := st.pending[0]
+		st.pending = st.pending[1:]
+		point := PointKey(run)
+		if e.rc.Quarantine().Allow(point) {
+			return run, true
+		}
+		e.rc.JournalAttempt(run.ID, point, e.attempts[run.ID], resilience.AttemptQuarantined, "", nil)
+		e.noteOutcome(resilience.OutcomeQuarantined)
+		e.mQuarantined.Inc()
+		e.mFailed.Inc()
+		e.Events.Append(eventlog.Error, eventlog.RunQuarantined, "sweep point "+point+" quarantined", 0,
+			telemetry.String("run", run.ID), telemetry.String("point", point))
+		st.out.Failed = append(st.out.Failed, run)
+	}
+	return cheetah.Run{}, false
+}
+
 // startSimRun launches one run on a node with full observability: a
-// "savanna.run" span under the allocation, run.start / run.succeeded /
-// run.killed journal events, and the engine counters — all stamped in
-// virtual time by the engine's clock. done receives the task outcome after
-// the bookkeeping.
-func (e *SimEngine) startSimRun(ctx context.Context, a *hpcsim.Allocation, run cheetah.Run, nid int, dur float64, done func(ok bool)) {
+// "savanna.run" span under the allocation, run.start and terminal journal
+// events, the attempt journal, and the engine counters — all stamped in
+// virtual time by the engine's clock. done receives the disposition after
+// the bookkeeping; for simRetryAfter, delay is the backoff in (virtual)
+// seconds.
+func (e *SimEngine) startSimRun(ctx context.Context, a *hpcsim.Allocation, run cheetah.Run, nid int, dur float64, done func(disp simDisposition, delay float64)) {
+	point := PointKey(run)
+	attempt := e.attempts[run.ID] + 1
+	e.attempts[run.ID] = attempt
 	_, span := e.Tracer.Start(ctx, "savanna.run",
 		telemetry.String("run", run.ID), telemetry.Int("node", nid))
 	e.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(),
 		telemetry.String("run", run.ID), telemetry.Int("node", nid))
-	_, err := a.RunTask(run.ID, nid, dur, func(ok bool) {
-		if ok {
+	e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptStart, "", nil)
+	var task *hpcsim.Task
+	task, err := a.RunTask(run.ID, nid, dur, func(ok bool) {
+		if !ok {
+			// Infrastructure kill: the attempt is refunded — a node failure
+			// or walltime cut says nothing about the run itself.
+			reason := "killed"
+			if task != nil && task.KillReason != "" {
+				reason = task.KillReason
+			}
+			e.attempts[run.ID] = attempt - 1
+			e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptKilled, resilience.ClassTransient, fmt.Errorf("%s", reason))
+			e.mKilled.Inc()
+			span.End(telemetry.String("status", "killed"), telemetry.String("reason", reason))
+			e.Events.Append(eventlog.Warn, eventlog.RunKilled, reason, span.ID(),
+				telemetry.String("run", run.ID))
+			done(simRequeueNow, 0)
+			return
+		}
+		var ferr error
+		if e.FaultModel != nil {
+			ferr = e.FaultModel(run, attempt, e.faultRNG(run, attempt))
+		}
+		if ferr == nil {
+			e.rc.Quarantine().NoteSuccess(point)
+			e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptSuccess, "", nil)
+			e.noteOutcome(resilience.OutcomeSucceeded)
 			e.mExecuted.Inc()
 			e.hRunSecs.Observe(dur)
-			span.End(telemetry.String("status", "succeeded"))
+			e.hAttempts.Observe(float64(attempt))
+			span.End(telemetry.String("status", "succeeded"), telemetry.Int("attempts", attempt))
 			e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(),
 				telemetry.String("run", run.ID))
-		} else {
-			e.mKilled.Inc()
-			span.End(telemetry.String("status", "killed"))
-			e.Events.Append(eventlog.Warn, eventlog.RunKilled, "killed by walltime or node failure", span.ID(),
-				telemetry.String("run", run.ID))
+			done(simCompleted, 0)
+			return
 		}
-		done(ok)
+		class := resilience.Classify(ferr)
+		e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptFailure, class, ferr)
+		if e.rc.Quarantine().NoteFailure(point) {
+			e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptQuarantined, class, ferr)
+			e.noteOutcome(resilience.OutcomeQuarantined)
+			e.mQuarantined.Inc()
+			e.mFailed.Inc()
+			e.hAttempts.Observe(float64(attempt))
+			span.End(telemetry.String("status", "failed"), telemetry.Bool("quarantined", true),
+				telemetry.Int("attempts", attempt))
+			e.Events.Append(eventlog.Error, eventlog.RunQuarantined, ferr.Error(), span.ID(),
+				telemetry.String("run", run.ID), telemetry.String("point", point),
+				telemetry.Int("attempts", attempt))
+			done(simFailed, 0)
+			return
+		}
+		if class.Retryable() && attempt < e.rc.Attempts() {
+			delay := e.rc.Backoff(e.prevDelay[run.ID])
+			e.prevDelay[run.ID] = delay
+			e.rc.NoteRetry()
+			e.mRetries.Inc()
+			span.End(telemetry.String("status", "retry"), telemetry.Int("attempts", attempt))
+			e.Events.Append(eventlog.Warn, eventlog.RunRetry, ferr.Error(), span.ID(),
+				telemetry.String("run", run.ID), telemetry.Int("attempt", attempt),
+				telemetry.String("class", string(class)), telemetry.Int("delay_ms", int(delay.Milliseconds())))
+			done(simRetryAfter, delay.Seconds())
+			return
+		}
+		e.noteOutcome(resilience.OutcomeFailed)
+		e.mFailed.Inc()
+		e.hAttempts.Observe(float64(attempt))
+		span.End(telemetry.String("status", "failed"), telemetry.String("error", ferr.Error()),
+			telemetry.Int("attempts", attempt))
+		e.Events.Append(eventlog.Error, eventlog.RunFailed, ferr.Error(), span.ID(),
+			telemetry.String("run", run.ID), telemetry.Int("attempts", attempt))
+		done(simFailed, 0)
 	})
 	if err != nil {
 		// Callers only target idle nodes, so this is defensive: end the
@@ -243,34 +450,51 @@ func (e *SimEngine) startSimRun(ctx context.Context, a *hpcsim.Allocation, run c
 	}
 }
 
+// dispose folds one attempt's disposition back into the allocation state and
+// kicks the scheduler (assign for dynamic, the barrier check for sets).
+func (e *SimEngine) dispose(st *allocState, run cheetah.Run, disp simDisposition, delay float64, kick func()) {
+	switch disp {
+	case simCompleted:
+		st.out.Completed = append(st.out.Completed, run)
+	case simRequeueNow:
+		st.out.Killed++
+		st.pending = append(st.pending, run) // back to the queue
+	case simRetryAfter:
+		// Park the retry on a virtual timer; waiting keeps the allocation
+		// alive (and the set barrier honest) until it fires.
+		st.waiting++
+		e.sim.After(delay, func() {
+			st.waiting--
+			st.pending = append(st.pending, run)
+			kick()
+		})
+	case simFailed:
+		st.out.Failed = append(st.out.Failed, run)
+	}
+	kick()
+}
+
 // runDynamic implements the Savanna pilot: every idle node pulls the next
 // pending run immediately.
-func (e *SimEngine) runDynamic(ctx context.Context, a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+func (e *SimEngine) runDynamic(ctx context.Context, a *hpcsim.Allocation, st *allocState) {
 	var assign func()
 	assign = func() {
 		if !a.Active() {
 			return
 		}
 		for _, nid := range a.IdleNodes() {
-			if len(*pending) == 0 {
+			run, ok := e.nextPending(st)
+			if !ok {
 				break
 			}
-			run := (*pending)[0]
-			*pending = (*pending)[1:]
-			e.startSimRun(ctx, a, run, nid, e.runDuration(run), func(ok bool) {
-				if ok {
-					out.Completed = append(out.Completed, run)
-				} else {
-					out.Killed++
-					*pending = append(*pending, run) // back to the queue
-				}
-				// Reassign in both cases: after a node failure the
+			e.startSimRun(ctx, a, run, nid, e.runDuration(run), func(disp simDisposition, delay float64) {
+				// Reassign on every disposition: after a node failure the
 				// allocation lives on degraded and other idle nodes should
 				// pick the run back up (assign is a no-op once released).
-				assign()
+				e.dispose(st, run, disp, delay, assign)
 			})
 		}
-		if len(*pending) == 0 && len(a.IdleNodes()) == len(a.Nodes()) {
+		if len(st.pending) == 0 && st.waiting == 0 && len(a.IdleNodes()) == len(a.Nodes()) {
 			a.Release()
 		}
 	}
@@ -279,34 +503,43 @@ func (e *SimEngine) runDynamic(ctx context.Context, a *hpcsim.Allocation, pendin
 
 // runSets implements the baseline: sets sized to the node count, with an
 // explicit barrier — the next set starts only when every run of the current
-// set has finished.
-func (e *SimEngine) runSets(ctx context.Context, a *hpcsim.Allocation, pending *[]cheetah.Run, out *AllocationOutcome) {
+// set has finished. A retry parked on a virtual timer re-enters the queue
+// and rides a later set; the barrier waits for it rather than releasing a
+// half-finished allocation.
+func (e *SimEngine) runSets(ctx context.Context, a *hpcsim.Allocation, st *allocState) {
+	outstanding := 0
 	var nextSet func()
 	nextSet = func() {
-		if !a.Active() {
+		if !a.Active() || outstanding > 0 {
 			return
 		}
 		nodes := a.Nodes()
-		if len(*pending) == 0 || len(nodes) == 0 {
-			a.Release()
+		if len(st.pending) == 0 || len(nodes) == 0 {
+			if st.waiting == 0 || len(nodes) == 0 {
+				a.Release()
+			}
+			return // waiting > 0: a parked retry will call nextSet again
+		}
+		var set []cheetah.Run
+		for len(set) < len(nodes) {
+			run, ok := e.nextPending(st)
+			if !ok {
+				break
+			}
+			set = append(set, run)
+		}
+		if len(set) == 0 {
+			nextSet() // everything pending was quarantined away
 			return
 		}
-		setSize := len(nodes)
-		if setSize > len(*pending) {
-			setSize = len(*pending)
-		}
-		set := (*pending)[:setSize]
-		*pending = (*pending)[setSize:]
-		outstanding := setSize
+		outstanding = len(set)
 		for i, run := range set {
 			run := run
-			e.startSimRun(ctx, a, run, nodes[i], e.runDuration(run), func(ok bool) {
-				if ok {
-					out.Completed = append(out.Completed, run)
-				} else {
-					out.Killed++
-					*pending = append(*pending, run)
-				}
+			e.startSimRun(ctx, a, run, nodes[i], e.runDuration(run), func(disp simDisposition, delay float64) {
+				// nextSet is the kick: safe mid-set (the outstanding guard
+				// makes it a no-op) and exactly what a parked retry needs to
+				// restart a drained barrier.
+				e.dispose(st, run, disp, delay, nextSet)
 				outstanding--
 				if outstanding == 0 {
 					nextSet() // the barrier
@@ -332,6 +565,12 @@ type CampaignOutcome struct {
 	// FirstTimeline is the Fig. 6 busy-node timeline of the first
 	// allocation.
 	FirstTimeline []hpcsim.TimelinePoint
+	// Failed lists run IDs that ended terminally unsuccessful (retry budget
+	// exhausted, permanent failure, quarantined).
+	Failed []string
+	// Report is the campaign's completeness accounting — every run lands in
+	// exactly one bucket even when the campaign aborts early.
+	Report resilience.CompletenessReport
 }
 
 // RunToCompletion repeatedly submits allocations until every run has
@@ -349,6 +588,10 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 		telemetry.Int("runs", len(runs)), telemetry.String("discipline", string(d)))
 	e.campaignCtx = ctx
 	defer func() { e.campaignCtx = nil }()
+	// One resilience runtime spans the whole resubmission loop: attempt
+	// counts, quarantine decisions and the journal carry across allocations.
+	e.resetResilience()
+	defer func() { e.rc = nil }()
 
 	done := map[string]bool{}
 	outcome := &CampaignOutcome{}
@@ -359,6 +602,7 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 			campaignSpan.End(telemetry.String("error", "allocation budget exhausted"))
 			return nil, fmt.Errorf("savanna: campaign incomplete after %d allocations (%d runs left)", maxAllocations, len(remaining))
 		}
+		rc := e.rc
 		res, err := e.RunAllocation(remaining, nodes, walltime, d, seed+int64(alloc)*7919)
 		if err != nil {
 			campaignSpan.End(telemetry.String("error", err.Error()))
@@ -374,11 +618,33 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 		for _, run := range res.Completed {
 			done[run.ID] = true
 		}
+		// Terminal failures are done with the campaign too — resubmitting
+		// them would burn allocations on runs the breaker already judged.
+		for _, run := range res.Failed {
+			done[run.ID] = true
+			outcome.Failed = append(outcome.Failed, run.ID)
+		}
 		var next []cheetah.Run
 		for _, run := range remaining {
 			if !done[run.ID] {
 				next = append(next, run)
 			}
+		}
+		if reason, aborted := rc.Aborted(); aborted {
+			// Graceful abort: the never-to-be-attempted remainder is
+			// journaled and tallied as skipped, once, here.
+			for _, run := range next {
+				rc.JournalAttempt(run.ID, PointKey(run), e.attempts[run.ID], resilience.AttemptSkipped, "", nil)
+				rc.NoteOutcome(resilience.OutcomeSkipped)
+			}
+			outcome.Report = rc.Report(len(runs))
+			campaignSpan.End(telemetry.String("error", "aborted: "+reason))
+			e.Events.Append(eventlog.Info, eventlog.CampaignDone, "aborted", campaignSpan.ID(),
+				telemetry.Int("allocations", outcome.Allocations))
+			if e.Resilience != nil {
+				e.Resilience.Journal.Sync()
+			}
+			return outcome, nil
 		}
 		if len(next) == len(remaining) {
 			campaignSpan.End(telemetry.String("error", "no progress"))
@@ -393,8 +659,12 @@ func (e *SimEngine) RunToCompletion(runs []cheetah.Run, nodes int, walltime floa
 	if len(utils) > 0 {
 		outcome.MeanUtilization = sum / float64(len(utils))
 	}
+	outcome.Report = e.rc.Report(len(runs))
 	campaignSpan.End(telemetry.Int("allocations", outcome.Allocations))
 	e.Events.Append(eventlog.Info, eventlog.CampaignDone, "", campaignSpan.ID(),
 		telemetry.Int("allocations", outcome.Allocations))
+	if e.Resilience != nil {
+		e.Resilience.Journal.Sync()
+	}
 	return outcome, nil
 }

@@ -87,6 +87,10 @@ func (l *Level) UnmarshalJSON(data []byte) error {
 const (
 	CampaignStart = "campaign.start"
 	CampaignDone  = "campaign.done"
+	// CampaignAborted marks a graceful stop-condition abort (max failure
+	// fraction exceeded): undispatched runs were skipped and the engine
+	// returned a completeness report.
+	CampaignAborted = "campaign.aborted"
 
 	RunStart     = "run.start"
 	RunSucceeded = "run.succeeded"
@@ -95,6 +99,12 @@ const (
 	// RunKilled marks a run cut off by preemption, walltime expiry or node
 	// failure — it will requeue, unlike a RunFailed run.
 	RunKilled = "run.killed"
+	// RunRetry marks one failed attempt that the resilience layer will
+	// re-execute after backoff (attrs: attempt, class, delay_ms).
+	RunRetry = "run.retry"
+	// RunQuarantined marks a run terminally side-lined because its sweep
+	// point kept failing — the circuit breaker's terminal event.
+	RunQuarantined = "run.quarantined"
 
 	TaskStart  = "task.start"
 	TaskDone   = "task.done"
