@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json experiments examples clean
+.PHONY: all build vet test race short bench bench-json bench-gate experiments examples clean
+
+# Benchmarks the gate re-runs (see bench-gate). CASIngest and
+# GWASPasteWorkflow are in the run set but not the diff set: their absolute
+# wall-clock is disk-bound (object fsyncs, real input/output files) and
+# drifts 2-3× with device state, which no tolerance can absorb — CASIngest
+# is gated by its machine-independent same-run ratio instead, and the
+# workflow's paste cost is gated through the CPU-bound PasteColumnar pair.
+# Both still land in BENCH_PR6.json for the record.
+GATE_BENCH = GWASPasteWorkflow|CASIngest|SimReplay|PasteColumnar|HashFile
+GATE_DIFF  = SimReplay|PasteColumnar|HashFile
+# Allowed fractional slowdown before the gate fails (0.25 = 25%).
+BENCH_TOLERANCE ?= 0.25
 
 all: build vet test
 
@@ -22,10 +34,35 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One quick pass over every benchmark, rendered machine-readable so CI can
-# publish it and successive PRs can diff the numbers.
+# Three passes over every benchmark, rendered machine-readable so CI can
+# publish it and successive PRs can diff the numbers. The committed copy is
+# the regression baseline bench-gate diffs against; benchdiff keeps the
+# minimum of the three repetitions, which drops cold-cache first runs.
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
+# Re-run the gated benchmarks and fail if any slowed >$(BENCH_TOLERANCE)
+# against the committed baseline. The gate takes the minimum of 5
+# repetitions against the baseline's minimum of 3: comparing minima (not
+# means) discards scheduler and page-cache bad luck, and giving the
+# current side more draws than the baseline biases the comparison against
+# false alarms — a real regression shifts every draw, so it still trips. The -ratio assertions are
+# machine-independent: both sides come from the same run on the same
+# hardware, so they pin the speedups the data-plane fast paths exist to
+# provide on any machine. Margins leave room for run-to-run variance while
+# still tripping when a fast path stops being one: CAS parallel ingest
+# measures ~0.35-0.7× sequential (wide because object fsyncs inherit
+# device scheduling noise), the columnar fast path ~0.55-0.65× the line
+# kernel. Step and StepBatch share the cohort heap, so their gap is small
+# (~0.8-1.0×); that ratio is a gross-breakage tripwire, while the absolute
+# diff above is what holds the replay ceiling itself.
+bench-gate:
+	$(GO) test -run=NONE -bench='$(GATE_BENCH)' -benchmem -benchtime=1x -count=5 ./... | $(GO) run ./cmd/benchjson -o BENCH_GATE.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -current BENCH_GATE.json \
+		-tolerance $(BENCH_TOLERANCE) -filter '$(GATE_DIFF)' \
+		-ratio 'BenchmarkCASIngest/parallel4<=0.85*BenchmarkCASIngest/sequential' \
+		-ratio 'BenchmarkSimReplay/batch<=1.1*BenchmarkSimReplay/step' \
+		-ratio 'BenchmarkPasteColumnar/fast<=0.85*BenchmarkPasteColumnar/kernel'
 
 # Regenerate every paper figure at full scale into results.md.
 experiments:
@@ -42,4 +79,4 @@ examples:
 	$(GO) run ./examples/insitu-monitor
 
 clean:
-	rm -f results.md test_output.txt bench_output.txt BENCH_PR3.json
+	rm -f results.md test_output.txt bench_output.txt BENCH_GATE.json

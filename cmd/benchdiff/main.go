@@ -1,0 +1,217 @@
+// Command benchdiff gates benchmark regressions: it compares a current
+// benchjson run against a committed baseline and exits non-zero when any
+// gated benchmark slowed down past the tolerance.
+//
+//	benchdiff -baseline BENCH_PR6.json -current BENCH_GATE.json \
+//	    -filter 'GWASPasteWorkflow|CASIngest|SimReplay' -tolerance 0.25
+//
+// Name matching strips the trailing -GOMAXPROCS suffix (a 4-core runner
+// must diff cleanly against an 8-core baseline) and, when a run carries
+// duplicates of one benchmark (-count>1), the *minimum* ns/op is used —
+// the least-noise estimator of a benchmark's true cost.
+//
+// Absolute wall-clock comparisons only hold on comparable hardware, so
+// benchdiff also supports machine-independent ratio assertions between two
+// benchmarks of the *same* run:
+//
+//	benchdiff -current BENCH_GATE.json \
+//	    -ratio 'BenchmarkCASIngest/parallel-4<=0.5*BenchmarkCASIngest/sequential' \
+//	    -ratio 'BenchmarkSimReplay/batch<=1.0*BenchmarkSimReplay/step'
+//
+// asserts ns(parallel-4) ≤ 0.5 × ns(sequential) — the "parallel ingest is
+// ≥2× sequential" acceptance floor — regardless of how fast the runner is.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result mirrors cmd/benchjson's output element.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ratioList collects repeated -ratio flags.
+type ratioList []string
+
+func (r *ratioList) String() string     { return strings.Join(*r, ",") }
+func (r *ratioList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline benchjson file (omit to run ratio assertions only)")
+	current := flag.String("current", "", "freshly generated benchjson file (required)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression against the baseline (0.25 = 25%)")
+	filter := flag.String("filter", "", "regexp selecting which baseline benchmarks are gated (default: all)")
+	var ratios ratioList
+	flag.Var(&ratios, "ratio", "machine-independent assertion 'A<=K*B' on the current run (repeatable)")
+	flag.Parse()
+
+	if *current == "" {
+		fatal(fmt.Errorf("-current is required"))
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	failures := 0
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var re *regexp.Regexp
+		if *filter != "" {
+			re, err = regexp.Compile(*filter)
+			if err != nil {
+				fatal(fmt.Errorf("bad -filter: %w", err))
+			}
+		}
+		failures += diff(base, cur, re, *tolerance)
+	}
+	for _, spec := range ratios {
+		if !assertRatio(cur, spec) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gate failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all gates passed")
+}
+
+// diff reports each gated benchmark's movement and counts regressions past
+// the tolerance. A gated baseline benchmark missing from the current run is
+// a failure too: a silently dropped benchmark must not pass the gate.
+func diff(base, cur map[string]float64, re *regexp.Regexp, tolerance float64) int {
+	failures := 0
+	for _, name := range sortedKeys(base) {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-55s baseline %s, absent from current run\n", name, ms(b))
+			failures++
+			continue
+		}
+		change := (c - b) / b
+		status := "ok      "
+		if change > tolerance {
+			status = "REGRESSED"
+			failures++
+		} else if change < -0.05 {
+			status = "improved"
+		}
+		fmt.Printf("%-9s%-55s %s → %s (%+.1f%%)\n", status, name, ms(b), ms(c), change*100)
+	}
+	return failures
+}
+
+// assertRatio evaluates one 'A<=K*B' spec against the current run.
+func assertRatio(cur map[string]float64, spec string) bool {
+	lhs, rhs, ok := strings.Cut(spec, "<=")
+	if !ok {
+		fatal(fmt.Errorf("bad -ratio %q: want 'A<=K*B'", spec))
+	}
+	ks, bname, ok := strings.Cut(rhs, "*")
+	if !ok {
+		fatal(fmt.Errorf("bad -ratio %q: want 'A<=K*B'", spec))
+	}
+	k, err := strconv.ParseFloat(strings.TrimSpace(ks), 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad -ratio %q: %w", spec, err))
+	}
+	a, aok := cur[strings.TrimSpace(lhs)]
+	b, bok := cur[strings.TrimSpace(bname)]
+	if !aok || !bok {
+		fmt.Printf("MISSING  ratio %q: benchmark absent from current run\n", spec)
+		return false
+	}
+	if a > k*b {
+		fmt.Printf("REGRESSED ratio %s: %s > %.2f × %s (ratio %.2f)\n", spec, ms(a), k, ms(b), a/b)
+		return false
+	}
+	fmt.Printf("ok       ratio %s (ratio %.2f)\n", spec, a/b)
+	return true
+}
+
+// load parses a benchjson file into name → min ns/op, names normalised
+// without the -GOMAXPROCS suffix.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		name := stripProcs(r.Name)
+		if prev, ok := out[name]; !ok || r.NsPerOp < prev {
+			out[name] = r.NsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmark results", path)
+	}
+	return out, nil
+}
+
+// stripProcs drops go test's trailing -GOMAXPROCS decoration ("Name-8" →
+// "Name", "Name/sub-4" → "Name/sub") so runs from machines with different
+// core counts compare by benchmark identity.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func ms(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -6,10 +6,10 @@
 //	  "ns_per_op": 12345678.9, "bytes_per_op": 4096, "allocs_per_op": 12}, ...]
 //
 // It is the Makefile's bench-json target and the CI step that publishes
-// BENCH_PR3.json: a stable artifact that lets successive PRs diff benchmark
+// BENCH_PR6.json: a stable artifact that lets successive PRs diff benchmark
 // numbers without re-parsing free-form test output.
 //
-//	go test -run=NONE -bench=. -benchmem ./... | benchjson -o BENCH_PR3.json
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -o BENCH_PR6.json
 package main
 
 import (

@@ -5,7 +5,7 @@
 // complete, with no barrier between phases.
 //
 //	gwaspaste -inputs 'dir/sample_*.txt' -output matrix.tsv \
-//	          -workdir work -fanin 64 -parallel 8 [-keep] [-ragged] [-delim $'\t']
+//	          -workdir work -fanin 64 -parallel 8 [-keep] [-ragged] [-delim $'\t'] [-blocksize N]
 //
 // Observability (all opt-in, zero cost when unset):
 //
@@ -44,6 +44,7 @@ func main() {
 	keep := flag.Bool("keep", false, "keep phase intermediates (also on failure)")
 	delim := flag.String("delim", "\t", "output column delimiter")
 	ragged := flag.Bool("ragged", false, "permit inputs with differing row counts (missing cells empty)")
+	blockSize := flag.Int("blocksize", 0, "columnar fast-path block size in bytes (0 = default 128 KiB, negative disables the fast path)")
 	cacheDir := flag.String("cache", "", "action-cache directory for memoized execution")
 	telemetryOut := flag.String("telemetry", "", "write a JSON telemetry dump (metrics + spans + events) to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
@@ -107,7 +108,7 @@ func main() {
 		cache.SetMetrics(reg)
 	}
 
-	opts := tabular.Options{Delimiter: *delim, AllowRagged: *ragged}
+	opts := tabular.Options{Delimiter: *delim, AllowRagged: *ragged, BlockSize: *blockSize}
 	ctx, campaignSpan := tracer.Start(context.Background(), "paste.campaign",
 		telemetry.String("campaign", "gwaspaste"),
 		telemetry.Int("inputs", len(files)))

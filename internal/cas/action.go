@@ -140,15 +140,16 @@ func OpenActionCache(path string, store *Store) (*ActionCache, error) {
 		actions: map[Digest]ActionResult{},
 		files:   map[string]fileStat{},
 	}
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return c, nil
 	}
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
 	var af actionFile
-	if err := json.Unmarshal(data, &af); err != nil {
+	if err := json.NewDecoder(f).Decode(&af); err != nil {
 		return nil, fmt.Errorf("cas: parsing action cache: %w", err)
 	}
 	if af.Version != ActionCacheVersion {

@@ -1,0 +1,97 @@
+package cas
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkCASIngest ingests a run's 16-file × 4 MiB output set — the shape
+// of storing a campaign step's artifacts. "sequential" is the pre-PutAll
+// caller pattern (a PutFile loop: per-file index save, one file hashed at a
+// time); "parallel4" is PutAll with 4 workers sharing the chunked kernel's
+// pooled buffers and one batched index save. Parallel ingestion wins by
+// overlapping per-object fsync waits (and, on multi-core hosts, the hashing
+// itself), so it runs on real storage — which also means the absolute
+// numbers inherit the device's fsync scheduling noise. The regression gate
+// therefore checks this benchmark only through the same-run parallel-vs-
+// sequential ratio, not through absolute wall-clock (see Makefile
+// bench-gate).
+func BenchmarkCASIngest(b *testing.B) {
+	const nFiles, fileSize = 16, 4 << 20
+	dir := b.TempDir()
+	paths := make([]string, nFiles)
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, fileSize)
+	for i := range paths {
+		rng.Read(buf)
+		paths[i] = filepath.Join(dir, fmt.Sprintf("out%02d.bin", i))
+		if err := os.WriteFile(paths[i], buf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	totalBytes := int64(nFiles * fileSize)
+
+	// Each iteration ingests into a fresh store (no dedup short-circuit),
+	// torn down immediately so long runs don't accumulate object sets.
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(totalBytes)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			root := filepath.Join(b.TempDir(), "store")
+			store, err := Open(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, p := range paths {
+				if _, _, err := store.PutFile(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			os.RemoveAll(root)
+			b.StartTimer()
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		b.SetBytes(totalBytes)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			root := filepath.Join(b.TempDir(), "store")
+			store, err := Open(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := store.PutAll(paths, 4); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			os.RemoveAll(root)
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkHashFile pins the chunked hashing kernel's single-stream
+// throughput on a multi-chunk input.
+func BenchmarkHashFile(b *testing.B) {
+	dir := b.TempDir()
+	const size = 8 << 20
+	data := make([]byte, size)
+	rand.New(rand.NewSource(2)).Read(data)
+	path := filepath.Join(dir, "artifact.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := HashFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -72,15 +72,10 @@ func sumToDigest(sum [sha256.Size]byte) Digest {
 func HashBytes(b []byte) Digest { return sumToDigest(sha256.Sum256(b)) }
 
 // HashReader digests a stream without storing it, returning the byte count.
+// It shares the chunked kernel with Put, so the two always agree on what a
+// byte stream hashes to.
 func HashReader(r io.Reader) (Digest, int64, error) {
-	h := sha256.New()
-	n, err := io.Copy(h, r)
-	if err != nil {
-		return "", n, err
-	}
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
-	return sumToDigest(sum), n, nil
+	return hashReaderChunked(r)
 }
 
 // HashFile digests a file's content without storing it.
@@ -146,17 +141,25 @@ func (s *Store) objectPath(d Digest) string {
 }
 
 // Put streams r into the store, returning the content digest and size. The
-// object is written to a temp file while hashing and renamed into place, so
-// a concurrent reader never observes a partial object; storing bytes that
+// bytes make a single pass through the chunked kernel — hashed *while*
+// spooling to a temp file (pooled 1 MiB buffers, no io.Copy allocation, no
+// whole-file slurp) — and the temp object is renamed into place, so a
+// concurrent reader never observes a partial object; storing bytes that
 // already exist is a cheap no-op.
 func (s *Store) Put(r io.Reader) (Digest, int64, error) {
+	return s.put(r, true)
+}
+
+// put is Put with index bookkeeping optional: PutAll workers skip it and
+// batch the index update into one pass + one save at the end.
+func (s *Store) put(r io.Reader, updateIndex bool) (Digest, int64, error) {
 	tmp, err := os.CreateTemp(filepath.Join(s.root, "objects"), "put-*")
 	if err != nil {
 		return "", 0, err
 	}
 	tmpName := tmp.Name()
 	h := sha256.New()
-	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	n, err := hashCopy(tmp, h, r)
 	// The object's bytes must be on stable storage before the rename
 	// publishes them: rename-then-crash must never yield a named but empty
 	// (or torn) object.
@@ -199,6 +202,9 @@ func (s *Store) Put(r io.Reader) (Digest, int64, error) {
 		s.mObjectsPut.Inc()
 	}
 
+	if !updateIndex {
+		return d, n, nil
+	}
 	s.mu.Lock()
 	changed := s.idx.add(d, n)
 	var serr error
@@ -211,12 +217,7 @@ func (s *Store) Put(r io.Reader) (Digest, int64, error) {
 
 // PutFile stores the named file's content.
 func (s *Store) PutFile(path string) (Digest, int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return "", 0, err
-	}
-	defer f.Close()
-	return s.Put(f)
+	return s.putFile(path, true)
 }
 
 // PutBytes stores a byte slice.

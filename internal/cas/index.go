@@ -1,8 +1,10 @@
 package cas
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -30,8 +32,15 @@ type Index struct {
 // structurally valid index or an error — never a panic or an index that
 // later corrupts the store.
 func DecodeIndex(data []byte) (*Index, error) {
+	return DecodeIndexFrom(bytes.NewReader(data))
+}
+
+// DecodeIndexFrom is DecodeIndex over a stream: loadIndex feeds the index
+// file through it directly, so even a pathological multi-MB index is never
+// slurped into one buffer on top of the decoder's working set.
+func DecodeIndexFrom(r io.Reader) (*Index, error) {
 	var idx Index
-	if err := json.Unmarshal(data, &idx); err != nil {
+	if err := json.NewDecoder(r).Decode(&idx); err != nil {
 		return nil, fmt.Errorf("cas: parsing index: %w", err)
 	}
 	if idx.Version != IndexVersion {
@@ -54,14 +63,15 @@ func DecodeIndex(data []byte) (*Index, error) {
 // loadIndex reads the index file, returning an empty index when absent.
 func loadIndex(path string) (*Index, error) {
 	idx := &Index{Version: IndexVersion, Objects: map[string]ObjectInfo{}, path: path}
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return idx, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	parsed, err := DecodeIndex(data)
+	defer f.Close()
+	parsed, err := DecodeIndexFrom(f)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,70 @@
 package hpcsim
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSimReplay drains a pre-scheduled million-event campaign — 64
+// events per timestamp tick, the first of each tick rescheduling a follow-on
+// at the same instant, the shape of a large allocation's task-completion
+// storm. "step" dispatches one event per call; "batch" drains whole
+// same-timestamp cohorts via StepBatch. Each op is the mean of 3 replays so
+// one scheduler hiccup can't dominate a sample — this is the simulator's
+// raw dispatch ceiling, gated in BENCH_PR6.json. Building a campaign leaves
+// ~1M closures of garbage behind; the forced collection inside the untimed
+// window keeps GC assist debt from landing in whichever drain the pacer
+// happens to hit, which otherwise makes samples bimodal on small machines.
+func BenchmarkSimReplay(b *testing.B) {
+	const events, cohort, replays = 1_000_000, 64, 3
+	build := func() *Sim {
+		s := New(1)
+		fired := 0
+		for i := 0; i < events; i++ {
+			t := float64(i / cohort)
+			if i%cohort == 0 {
+				s.At(t, func() {
+					fired++
+					s.After(0, func() { fired++ })
+				})
+			} else {
+				s.At(t, func() { fired++ })
+			}
+		}
+		return s
+	}
+	b.Run("step", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < replays; r++ {
+				b.StopTimer()
+				s := build()
+				runtime.GC()
+				b.StartTimer()
+				for s.Step() {
+				}
+				if s.Processed() < events {
+					b.Fatalf("processed %d < %d", s.Processed(), events)
+				}
+			}
+		}
+		b.ReportMetric(float64(events*replays), "events")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < replays; r++ {
+				b.StopTimer()
+				s := build()
+				runtime.GC()
+				b.StartTimer()
+				s.Run()
+				if s.Processed() < events {
+					b.Fatalf("processed %d < %d", s.Processed(), events)
+				}
+			}
+		}
+		b.ReportMetric(float64(events*replays), "events")
+	})
+}
 
 func BenchmarkEventLoop(b *testing.B) {
 	s := New(1)

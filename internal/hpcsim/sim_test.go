@@ -128,3 +128,127 @@ func TestSimClockMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// buildOrderSim constructs a sim with a deliberately adversarial schedule:
+// same-timestamp bursts, events that schedule more events at the *current*
+// instant, cross-batch cancellations (an early event cancelling a later one
+// in the same cohort), and cancellations of future cohorts. record appends
+// each firing to *got.
+func buildOrderSim(got *[]int) *Sim {
+	s := New(7)
+	record := func(id int) func() { return func() { *got = append(*got, id) } }
+	// Burst of ten at t=1.
+	for i := 0; i < 10; i++ {
+		s.At(1, record(i))
+	}
+	// An event at t=1 that schedules two more at t=1 (fire after the burst)
+	// and one at t=2.
+	s.At(1, func() {
+		*got = append(*got, 100)
+		s.At(1, record(101))
+		s.After(0, record(102))
+		s.At(2, record(103))
+	})
+	// Same-cohort cancellation: 200 fires first and cancels 201.
+	var victim *Event
+	s.At(2, func() {
+		*got = append(*got, 200)
+		victim.Cancel()
+	})
+	victim = s.At(2, record(201))
+	s.At(2, record(202))
+	// Cancelled-only cohort at t=3: the clock must skip straight past it.
+	s.At(3, record(300)).Cancel()
+	s.At(4, record(400))
+	return s
+}
+
+// TestStepBatchFIFOMatchesStep pins the batched dispatcher's contract: the
+// exact firing sequence (and final clock/processed counts) of a StepBatch
+// drain equal a one-event-at-a-time Step drain, including same-instant
+// rescheduling and intra-cohort cancellation.
+func TestStepBatchFIFOMatchesStep(t *testing.T) {
+	var stepOrder []int
+	ref := buildOrderSim(&stepOrder)
+	for ref.Step() {
+	}
+
+	var batchOrder []int
+	s := buildOrderSim(&batchOrder)
+	for s.StepBatch() > 0 {
+	}
+
+	if len(stepOrder) == 0 {
+		t.Fatal("reference run fired nothing")
+	}
+	if len(batchOrder) != len(stepOrder) {
+		t.Fatalf("batch fired %d events, step fired %d\nbatch: %v\nstep:  %v",
+			len(batchOrder), len(stepOrder), batchOrder, stepOrder)
+	}
+	for i := range stepOrder {
+		if batchOrder[i] != stepOrder[i] {
+			t.Fatalf("order diverges at %d\nbatch: %v\nstep:  %v", i, batchOrder, stepOrder)
+		}
+	}
+	if s.Now() != ref.Now() || s.Processed() != ref.Processed() {
+		t.Fatalf("batch now=%v processed=%d, step now=%v processed=%d",
+			s.Now(), s.Processed(), ref.Now(), ref.Processed())
+	}
+	for _, id := range batchOrder {
+		if id == 201 || id == 300 {
+			t.Fatalf("cancelled event %d fired: %v", id, batchOrder)
+		}
+	}
+}
+
+// TestStepBatchRandomEquivalence drives random schedules through both
+// dispatchers and requires identical firing sequences.
+func TestStepBatchRandomEquivalence(t *testing.T) {
+	f := func(raw []uint16) bool {
+		build := func(got *[]int) *Sim {
+			s := New(11)
+			for i, r := range raw {
+				id, at := i, float64(r%16) // heavy timestamp collisions
+				s.At(at, func() {
+					*got = append(*got, id)
+					if id%3 == 0 {
+						s.After(0, func() { *got = append(*got, -id) })
+					}
+				})
+			}
+			return s
+		}
+		var a, b []int
+		sa := build(&a)
+		for sa.Step() {
+		}
+		sb := build(&b)
+		sb.Run() // batched
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepBatchReturnsZeroOnCancelledTail pins the drain-termination
+// contract: a queue holding only cancelled events returns 0 and empties.
+func TestStepBatchReturnsZeroOnCancelledTail(t *testing.T) {
+	s := New(1)
+	s.At(1, func() {}).Cancel()
+	s.At(2, func() {}).Cancel()
+	if n := s.StepBatch(); n != 0 {
+		t.Fatalf("StepBatch = %d, want 0", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after cancelled drain", s.Pending())
+	}
+}

@@ -89,3 +89,51 @@ func BenchmarkExecutorSkewed(b *testing.B) {
 		run(b, func(p PastePlan, o ExecOptions) (int, error) { return p.Execute(context.Background(), o) })
 	})
 }
+
+// BenchmarkPasteColumnar contrasts the columnar fast path with the
+// line-splitting kernel on verified-regular input — 16 uniform-width
+// columns × 32k rows, the genotype-matrix shape — at default block size.
+// "kernel" forces BlockSize=-1 (fast path off). Gated via the
+// paste-workflow benchmark in BENCH_PR6.json; zero output diff is pinned
+// by FuzzPasteFastPathEquivalence.
+func BenchmarkPasteColumnar(b *testing.B) {
+	const nSrcs, rows = 16, 32 * 1024
+	col := strings.Repeat("0.123456\n", rows)
+	run := func(b *testing.B, blockSize int) {
+		b.ReportAllocs()
+		b.SetBytes(int64(nSrcs * len(col)))
+		for i := 0; i < b.N; i++ {
+			srcs := make([]io.Reader, nSrcs)
+			for j := range srcs {
+				srcs[j] = strings.NewReader(col)
+			}
+			n, err := Paste(io.Discard, Options{BlockSize: blockSize}, srcs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != rows {
+				b.Fatalf("rows = %d, want %d", n, rows)
+			}
+		}
+	}
+	b.Run("fast", func(b *testing.B) { run(b, 0) })
+	b.Run("kernel", func(b *testing.B) { run(b, -1) })
+}
+
+// BenchmarkPasteColumnarSingle is the pass-through shape: one source,
+// where the fast path degenerates to verified block copies.
+func BenchmarkPasteColumnarSingle(b *testing.B) {
+	const rows = 256 * 1024
+	col := strings.Repeat("0.123456\n", rows)
+	run := func(b *testing.B, blockSize int) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(col)))
+		for i := 0; i < b.N; i++ {
+			if _, err := Paste(io.Discard, Options{BlockSize: blockSize}, strings.NewReader(col)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fast", func(b *testing.B) { run(b, 0) })
+	b.Run("kernel", func(b *testing.B) { run(b, -1) })
+}

@@ -1,0 +1,278 @@
+package tabular
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The columnar fast path exploits the dominant shape of genotype column
+// files: every row has the same byte width (one cell, one LF). For such
+// verified-regular sources, line boundaries are known arithmetic — row k of
+// a source with content width w starts at offset k·(w+1) — so the paste can
+// slice whole 64–256 KiB blocks at fixed strides instead of scanning for
+// '\n' through the line kernel's bufio state machine.
+//
+// Regularity is never assumed: the first filled block establishes each
+// source's candidate width, and every emitted row is verified by checking
+// its terminator byte (plus a no-CR guard) before any byte of it is
+// written. The first irregularity — width change, CRLF, unterminated tail,
+// a source running out early — aborts the fast loop *at a row boundary*
+// and hands each source's unconsumed remainder (buffered bytes + unread
+// stream) to the line-splitting kernel, which owns all edge semantics
+// (ragged inputs, final unterminated lines, CRLF). Output bytes are
+// identical on every path; FuzzPasteFastPathEquivalence pins that.
+
+const (
+	// defaultBlockSize is the per-source transfer-block size when
+	// Options.BlockSize is zero.
+	defaultBlockSize = 128 * 1024
+	minBlockSize     = 4 * 1024
+	maxBlockSize     = 1024 * 1024
+)
+
+// blockPool recycles default-sized fast-path blocks; non-default block
+// sizes allocate fresh (tuning runs, tests) and skip the pool.
+var blockPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, defaultBlockSize)
+		return &b
+	},
+}
+
+func getBlock(size int) *[]byte {
+	if size == defaultBlockSize {
+		return blockPool.Get().(*[]byte)
+	}
+	b := make([]byte, size)
+	return &b
+}
+
+func putBlock(size int, b *[]byte) {
+	if size == defaultBlockSize {
+		blockPool.Put(b)
+	}
+}
+
+// fastCol is one source's fast-path state: a block buffer holding the
+// unconsumed window [start, end), the established uniform content width,
+// and the underlying reader for refills.
+type fastCol struct {
+	r          io.Reader
+	buf        *[]byte
+	start, end int
+	w          int  // content width, excluding the terminating '\n'
+	eof        bool // r returned io.EOF
+	escaped    bool // buf ownership handed to a remainder reader
+}
+
+func (c *fastCol) avail() int { return c.end - c.start }
+
+// fill compacts the unconsumed window to the buffer's front and reads until
+// the buffer is full or the source is exhausted.
+func (c *fastCol) fill() error {
+	buf := *c.buf
+	if c.start > 0 {
+		copy(buf, buf[c.start:c.end])
+		c.end -= c.start
+		c.start = 0
+	}
+	for c.end < len(buf) && !c.eof {
+		n, err := c.r.Read(buf[c.end:])
+		c.end += n
+		if err == io.EOF {
+			c.eof = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// establishWidth inspects the first buffered line and fixes the source's
+// candidate width. It reports false — route this paste through the line
+// kernel — when no complete line fits in one block or the first line ends
+// in CRLF (the kernel strips '\r'; fixed-stride slicing would not).
+func (c *fastCol) establishWidth() bool {
+	idx := bytes.IndexByte((*c.buf)[c.start:c.end], '\n')
+	if idx < 0 {
+		return false
+	}
+	if idx > 0 && (*c.buf)[c.start+idx-1] == '\r' {
+		return false
+	}
+	c.w = idx
+	return true
+}
+
+var newlineByte = []byte{'\n'}
+
+// verifyRows checks that the next k buffered rows are exactly w content
+// bytes terminated by a bare LF. Two conditions make that airtight: the
+// region's newline count must equal k (one vectorized bytes.Count pass —
+// otherwise a shorter row hiding *inside* a stride would be silently glued
+// to its neighbour), and each stride's terminator byte must be '\n' with no
+// preceding '\r'. Together they pin every newline to a stride boundary.
+func (c *fastCol) verifyRows(k int) bool {
+	buf := *c.buf
+	stride := c.w + 1
+	if bytes.Count(buf[c.start:c.start+k*stride], newlineByte) != k {
+		return false
+	}
+	nl := c.start + c.w
+	if c.w == 0 {
+		for i := 0; i < k; i++ {
+			if buf[nl] != '\n' {
+				return false
+			}
+			nl += stride
+		}
+		return true
+	}
+	for i := 0; i < k; i++ {
+		if buf[nl] != '\n' || buf[nl-1] == '\r' {
+			return false
+		}
+		nl += stride
+	}
+	return true
+}
+
+// remainder returns a reader over everything the fast path did not consume
+// from this source. A non-empty buffered window escapes the block pool (the
+// returned reader views it).
+func (c *fastCol) remainder() io.Reader {
+	switch {
+	case c.avail() > 0 && !c.eof:
+		c.escaped = true
+		return io.MultiReader(bytes.NewReader((*c.buf)[c.start:c.end]), c.r)
+	case c.avail() > 0:
+		c.escaped = true
+		return bytes.NewReader((*c.buf)[c.start:c.end])
+	case !c.eof:
+		return c.r
+	default:
+		return bytes.NewReader(nil)
+	}
+}
+
+// fastPaste runs the columnar fast loop, emitting complete rows until the
+// first irregularity or exhaustion. It returns the rows written, one
+// remainder reader per source for the line kernel to finish (nil srcs
+// change: same order, same indices), done=true when every source ended
+// cleanly at a row boundary (nothing left to do), and any I/O error.
+func fastPaste(w *bufio.Writer, opts Options, blockSize int, srcs []io.Reader) (rows int, rem []io.Reader, done bool, err error) {
+	delim := opts.delimiter()
+	cols := make([]fastCol, len(srcs))
+	for i := range cols {
+		cols[i].r = srcs[i]
+		cols[i].buf = getBlock(blockSize)
+	}
+	defer func() {
+		for i := range cols {
+			if !cols[i].escaped {
+				putBlock(blockSize, cols[i].buf)
+				cols[i].buf = nil
+			}
+		}
+	}()
+	remainders := func() []io.Reader {
+		out := make([]io.Reader, len(cols))
+		for i := range cols {
+			out[i] = cols[i].remainder()
+		}
+		return out
+	}
+
+	// First fill establishes each source's candidate width; any source
+	// without one complete bare-LF line per block routes the whole paste
+	// through the line kernel (which re-reads the buffered bytes).
+	for i := range cols {
+		if err := cols[i].fill(); err != nil {
+			return 0, nil, false, fmt.Errorf("tabular: reading source %d: %w", i, err)
+		}
+		if !cols[i].establishWidth() {
+			return 0, remainders(), false, nil
+		}
+	}
+
+	for {
+		// Rows emittable this round: complete buffered rows of the
+		// scarcest source.
+		rounds := -1
+		for i := range cols {
+			if n := cols[i].avail() / (cols[i].w + 1); rounds < 0 || n < rounds {
+				rounds = n
+			}
+		}
+		if rounds == 0 {
+			// A source is out of complete rows. Clean end: every source
+			// exhausted exactly at a row boundary. Anything else — a
+			// partial tail, a still-live source, raggedness — is the line
+			// kernel's job.
+			allDone := true
+			for i := range cols {
+				if cols[i].avail() > 0 || !cols[i].eof {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				return rows, nil, true, nil
+			}
+			return rows, remainders(), false, nil
+		}
+		// Verify before emitting a single byte: a failed round falls back
+		// with the output still at a row boundary.
+		for i := range cols {
+			if !cols[i].verifyRows(rounds) {
+				return rows, remainders(), false, nil
+			}
+		}
+		if len(cols) == 1 {
+			// Single source: the verified block is already the output
+			// (rows end in bare LF) — one memmove-style append.
+			c := &cols[0]
+			n := rounds * (c.w + 1)
+			if _, werr := w.Write((*c.buf)[c.start : c.start+n]); werr != nil {
+				return rows, nil, false, werr
+			}
+			c.start += n
+		} else {
+			for k := 0; k < rounds; k++ {
+				for i := range cols {
+					c := &cols[i]
+					off := c.start + k*(c.w+1)
+					if i > 0 {
+						if _, werr := w.WriteString(delim); werr != nil {
+							return rows, nil, false, werr
+						}
+					}
+					if _, werr := w.Write((*c.buf)[off : off+c.w]); werr != nil {
+						return rows, nil, false, werr
+					}
+				}
+				if werr := w.WriteByte('\n'); werr != nil {
+					return rows, nil, false, werr
+				}
+			}
+			for i := range cols {
+				cols[i].start += rounds * (cols[i].w + 1)
+			}
+		}
+		rows += rounds
+		// Refill sources that can no longer yield a complete row.
+		for i := range cols {
+			c := &cols[i]
+			if c.avail() < c.w+1 && !c.eof {
+				if ferr := c.fill(); ferr != nil {
+					return rows, nil, false, fmt.Errorf("tabular: reading source %d: %w", i, ferr)
+				}
+			}
+		}
+	}
+}
