@@ -9,7 +9,7 @@ GO ?= go
 # is gated by its machine-independent same-run ratio instead, and the
 # workflow's paste cost is gated through the CPU-bound PasteColumnar pair.
 # Both still land in BENCH_PR6.json for the record.
-GATE_BENCH = GWASPasteWorkflow|CASIngest|SimReplay|PasteColumnar|HashFile
+GATE_BENCH = GWASPasteWorkflow|CASIngest|SimReplay|PasteColumnar|HashFile|RemoteCampaignScaling
 GATE_DIFF  = SimReplay|PasteColumnar|HashFile
 # Allowed fractional slowdown before the gate fails (0.25 = 25%).
 BENCH_TOLERANCE ?= 0.25
@@ -39,7 +39,7 @@ bench:
 # the regression baseline bench-gate diffs against; benchdiff keeps the
 # minimum of the three repetitions, which drops cold-cache first runs.
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x -count=3 ./... | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
 
 # Re-run the gated benchmarks and fail if any slowed >$(BENCH_TOLERANCE)
 # against the committed baseline. The gate takes the minimum of 5
@@ -62,7 +62,8 @@ bench-gate:
 		-tolerance $(BENCH_TOLERANCE) -filter '$(GATE_DIFF)' \
 		-ratio 'BenchmarkCASIngest/parallel4<=0.85*BenchmarkCASIngest/sequential' \
 		-ratio 'BenchmarkSimReplay/batch<=1.1*BenchmarkSimReplay/step' \
-		-ratio 'BenchmarkPasteColumnar/fast<=0.85*BenchmarkPasteColumnar/kernel'
+		-ratio 'BenchmarkPasteColumnar/fast<=0.85*BenchmarkPasteColumnar/kernel' \
+		-ratio 'BenchmarkRemoteCampaignScaling/workers4<=0.4*BenchmarkRemoteCampaignScaling/workers1'
 
 # Regenerate every paper figure at full scale into results.md.
 experiments:

@@ -38,6 +38,13 @@
 //	                                  if runs remain), or re-execute the remainder
 //	                                  with retries/quarantine/deadlines armed when
 //	                                  a command template follows --
+//	fairctl worker -connect host:port [-name w1] [-slots 2] [-cas store]
+//	               [-out name:relpath]... [-workdir dir] -- cmd {param}...
+//	                                  join a coordinator (savanna run -remote) as a
+//	                                  remote execution worker: runs arrive in
+//	                                  batches under a heartbeat-renewed lease, each
+//	                                  executes via the command template, and named
+//	                                  outputs sync by CAS digest
 package main
 
 import (
@@ -140,6 +147,8 @@ func main() {
 		healthCmd(os.Args[2:])
 	case "resume":
 		resumeCmd(os.Args[2:])
+	case "worker":
+		workerCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -301,7 +310,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health|resume> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health|resume|worker> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairflow/internal/cas"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/remote"
+	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// workerCmd implements "fairctl worker": join a coordinator as a remote
+// execution worker, running each assigned run through a command template
+// (the same {param} substitution as "fairctl resume"). With -cas the worker
+// keeps a local action cache seeded from the coordinator's lease grant, so
+// repeated campaigns skip already-computed runs and only digests cross the
+// wire; -out names which files each run produces for collection.
+//
+// The worker serves one campaign session: it exits 0 when the coordinator
+// drains it, non-zero when the connection breaks. Dialing retries until
+// -dial-wait elapses, so workers may be started before the coordinator.
+func workerCmd(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "coordinator address (host:port)")
+	name := fs.String("name", "", "worker name (default: coordinator-assigned)")
+	slots := fs.Int("slots", 1, "concurrent runs this worker executes")
+	workdir := fs.String("workdir", "", "root for per-run working directories (default: a temp dir)")
+	timeout := fs.Duration("timeout", 0, "per-process walltime (0 = none)")
+	dialWait := fs.Duration("dial-wait", 30*time.Second, "keep retrying the initial dial for this long")
+	casDir := fs.String("cas", "", "artifact store directory for the worker-side memo cache")
+	var outs multiFlag
+	fs.Var(&outs, "out", "output artifact as name:relpath under the run's working directory (repeatable)")
+	fs.Parse(args)
+
+	if *connect == "" {
+		fatal(fmt.Errorf("worker needs -connect"))
+	}
+	command := fs.Args()
+	if len(command) == 0 {
+		fatal(fmt.Errorf("worker needs a command template after -- (placeholders: {param})"))
+	}
+	if *workdir == "" {
+		dir, err := os.MkdirTemp("", "fairctl-worker-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		*workdir = dir
+	}
+
+	outputs := map[string]string{} // artifact name → relpath in run dir
+	for _, o := range outs {
+		n, rel, ok := strings.Cut(o, ":")
+		if !ok || n == "" || rel == "" {
+			fatal(fmt.Errorf("worker: -out wants name:relpath, got %q", o))
+		}
+		outputs[n] = rel
+	}
+
+	w := &remote.Worker{
+		Name:  *name,
+		Addr:  *connect,
+		Slots: *slots,
+		Executor: &savanna.ProcessExecutor{
+			Command:  command,
+			WorkRoot: *workdir,
+			Timeout:  *timeout,
+		},
+		Events: eventlog.NewLog(),
+	}
+	runDir := func(run cheetah.Run) string {
+		return filepath.Join(*workdir, filepath.FromSlash(run.ID))
+	}
+	if *casDir != "" {
+		store, err := cas.Open(*casDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache, err := cas.OpenActionCache(filepath.Join(*casDir, "actions.json"), store)
+		if err != nil {
+			fatal(err)
+		}
+		w.Cache = cache
+		if len(outputs) > 0 {
+			w.Collect = func(run cheetah.Run) (map[string]string, error) {
+				paths := map[string]string{}
+				for n, rel := range outputs {
+					paths[n] = filepath.Join(runDir(run), filepath.FromSlash(rel))
+				}
+				return paths, nil
+			}
+			w.Restore = func(run cheetah.Run, got map[string]cas.Digest) error {
+				for n, rel := range outputs {
+					d, ok := got[n]
+					if !ok {
+						return fmt.Errorf("cached result is missing output %q", n)
+					}
+					dst := filepath.Join(runDir(run), filepath.FromSlash(rel))
+					if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+						return err
+					}
+					if err := store.Materialize(d, dst); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The coordinator may not be listening yet (CI starts both at once):
+	// retry the dial with backoff until the window closes.
+	deadline := time.Now().Add(*dialWait)
+	delay := 100 * time.Millisecond
+	for {
+		err := w.Run(ctx)
+		if err == nil {
+			fmt.Fprintln(os.Stderr, "fairctl: worker drained, exiting")
+			return
+		}
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("worker: interrupted: %w", err))
+		}
+		if !strings.Contains(err.Error(), "dialing coordinator") || time.Now().After(deadline) {
+			fatal(err)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+}

@@ -5,6 +5,15 @@
 //
 //	savanna run -campaign campaigns/<name> -app sleep -workers 8 [-sets N]
 //
+// With -remote the runner becomes a distributed-campaign coordinator
+// instead of executing in-process: it listens on the given address, and
+// "fairctl worker -connect" processes execute the runs under heartbeat-
+// renewed leases (see DESIGN.md §4g):
+//
+//	savanna run -campaign campaigns/<name> -remote :7171 \
+//	    [-batch 32] [-lease-ttl 10s] [-worker-wait 60s] \
+//	    [-events events.jsonl] [-health health.json] [-monitor-addr :8080]
+//
 // Built-in demo apps:
 //
 //	sleep        sleeps params["ms"] milliseconds (default 10)
@@ -14,8 +23,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"time"
@@ -23,8 +36,12 @@ import (
 	"fairflow/internal/census"
 	"fairflow/internal/cheetah"
 	"fairflow/internal/iorf"
+	"fairflow/internal/monitor"
 	"fairflow/internal/provenance"
+	"fairflow/internal/remote"
 	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 func main() {
@@ -38,6 +55,13 @@ func main() {
 	workers := fs.Int("workers", 8, "worker pool size (the local pilot's nodes)")
 	sets := fs.Int("sets", 0, "if >0, use the set-synchronized baseline with this set size")
 	provOut := fs.String("prov", "", "write provenance JSONL here")
+	remoteAddr := fs.String("remote", "", "coordinate a distributed campaign: listen here for fairctl workers")
+	batch := fs.Int("batch", 32, "remote: runs per assignment message")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "remote: declare a silent worker dead after this long")
+	workerWait := fs.Duration("worker-wait", 60*time.Second, "remote: abort after this long with work left and no live worker")
+	eventsOut := fs.String("events", "", "remote: write the event journal JSONL here")
+	healthOut := fs.String("health", "", "remote: write the final campaign health JSON here")
+	monitorAddr := fs.String("monitor-addr", "", "remote: serve live /health.json on this address")
 	fs.Parse(os.Args[2:])
 
 	if *dir == "" {
@@ -52,15 +76,12 @@ func main() {
 		appName = m.Campaign.App
 	}
 	reg := savanna.NewFuncRegistry(m.Campaign.App)
-	registerDemoApps(reg, m.Campaign.App, appName)
+	if *remoteAddr == "" {
+		// Workers execute remotely; only the local engine needs an app.
+		registerDemoApps(reg, m.Campaign.App, appName)
+	}
 
 	prov := provenance.NewStore()
-	eng := &savanna.LocalEngine{
-		Executor:    reg,
-		Workers:     *workers,
-		Prov:        prov,
-		CampaignDir: *dir,
-	}
 
 	// Resume: only run what has not succeeded yet (per directory statuses).
 	sum, err := cheetah.Status(*dir)
@@ -81,10 +102,24 @@ func main() {
 
 	start := time.Now()
 	var results []savanna.RunResult
-	if *sets > 0 {
-		results, err = eng.RunSets(m.Campaign.Name, todo, *sets)
+	if *remoteAddr != "" {
+		results, err = runRemote(remoteOpts{
+			addr: *remoteAddr, dir: *dir, batch: *batch,
+			leaseTTL: *leaseTTL, workerWait: *workerWait,
+			eventsOut: *eventsOut, healthOut: *healthOut, monitorAddr: *monitorAddr,
+		}, prov, m.Campaign.Name, todo)
 	} else {
-		results, err = eng.RunAll(m.Campaign.Name, todo)
+		eng := &savanna.LocalEngine{
+			Executor:    reg,
+			Workers:     *workers,
+			Prov:        prov,
+			CampaignDir: *dir,
+		}
+		if *sets > 0 {
+			results, err = eng.RunSets(m.Campaign.Name, todo, *sets)
+		} else {
+			results, err = eng.RunAll(m.Campaign.Name, todo)
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -112,6 +147,91 @@ func main() {
 		f.Close()
 		fmt.Printf("savanna: provenance written to %s\n", *provOut)
 	}
+}
+
+type remoteOpts struct {
+	addr, dir            string
+	batch                int
+	leaseTTL, workerWait time.Duration
+	eventsOut, healthOut string
+	monitorAddr          string
+}
+
+// runRemote coordinates the campaign across fairctl workers: the full
+// telemetry plane (events, metrics, campaign monitor with the dead-worker
+// alert) is wired up, optionally served live as /health.json, and dumped
+// to files when the campaign ends.
+func runRemote(o remoteOpts, prov *provenance.Store, campaign string, todo []cheetah.Run) ([]savanna.RunResult, error) {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, err
+	}
+	log := eventlog.NewLog()
+	metrics := telemetry.NewRegistry()
+	mon := monitor.New(monitor.Config{
+		Campaign:  campaign,
+		TotalRuns: len(todo),
+		Rules:     []monitor.Rule{monitor.DeadWorkerRule()},
+	}, metrics, log)
+	if o.monitorAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/health.json", mon.Handler())
+		go http.ListenAndServe(o.monitorAddr, mux)
+	}
+	fmt.Printf("savanna: coordinating on %s — join with: fairctl worker -connect %s -- <cmd> {param}...\n",
+		ln.Addr(), ln.Addr())
+
+	eng := &remote.Engine{
+		Listener:    ln,
+		BatchSize:   o.batch,
+		LeaseTTL:    o.leaseTTL,
+		WorkerWait:  o.workerWait,
+		Prov:        prov,
+		CampaignDir: o.dir,
+		Metrics:     metrics,
+		Events:      log,
+	}
+	results, report, err := eng.RunCampaign(context.Background(), campaign, todo)
+	if err == nil {
+		fmt.Println("savanna:", report.String())
+	}
+	if o.eventsOut != "" {
+		if werr := writeEventsJSONL(o.eventsOut, log); werr != nil {
+			fmt.Fprintln(os.Stderr, "savanna: writing events:", werr)
+		}
+	}
+	if o.healthOut != "" {
+		if werr := writeHealthJSON(o.healthOut, mon); werr != nil {
+			fmt.Fprintln(os.Stderr, "savanna: writing health:", werr)
+		}
+	}
+	return results, err
+}
+
+func writeEventsJSONL(path string, log *eventlog.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, ev := range log.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHealthJSON(path string, mon *monitor.Monitor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mon.Health())
 }
 
 // registerDemoApps installs the built-in app implementations under the

@@ -58,6 +58,25 @@ type Straggler struct {
 	Factor         float64 `json:"factor"`
 }
 
+// WorkerHealth is one worker's rollup in a distributed campaign, folded
+// from the coordinator's worker-lifecycle and run-dispatch events.
+type WorkerHealth struct {
+	Worker string `json:"worker"`
+	// Live reports whether the worker currently holds a lease.
+	Live  bool `json:"live"`
+	Slots int  `json:"slots,omitempty"`
+	// RunsInFlight counts runs dispatched to this worker with no terminal
+	// outcome yet.
+	RunsInFlight int `json:"runs_in_flight"`
+	// Completed counts terminal outcomes this worker reported.
+	Completed int `json:"completed"`
+	// Lost counts runs reclaimed from this worker by lease expiry.
+	Lost int `json:"lost,omitempty"`
+	// LastSeenAgeSeconds is the age of the worker's last sign of life
+	// (heartbeat, dispatch, result) at evaluation time.
+	LastSeenAgeSeconds float64 `json:"last_seen_age_seconds,omitempty"`
+}
+
 // AlertState is the current state of one alert (built-in or rule-defined).
 type AlertState struct {
 	Alert     string    `json:"alert"`
@@ -103,6 +122,12 @@ type CampaignHealth struct {
 	Stalled      bool    `json:"stalled"`
 	StallSeconds float64 `json:"stall_seconds,omitempty"`
 
+	// WorkersLive / WorkersDead and Workers appear only for distributed
+	// campaigns (remote engine coordinators emit the worker events).
+	WorkersLive int            `json:"workers_live,omitempty"`
+	WorkersDead int            `json:"workers_dead,omitempty"`
+	Workers     []WorkerHealth `json:"workers,omitempty"`
+
 	Alerts []AlertState `json:"alerts,omitempty"`
 }
 
@@ -116,6 +141,17 @@ const (
 type runState struct {
 	start time.Time
 	span  int64
+}
+
+// workerTrack is one worker's folded lifecycle state.
+type workerTrack struct {
+	live      bool
+	dead      bool // died at least once and has not rejoined
+	slots     int
+	inFlight  int
+	completed int
+	lost      int
+	lastSeen  time.Time
 }
 
 // alertTrack is an alert's persisted firing state between evaluations.
@@ -139,7 +175,9 @@ type Monitor struct {
 	done         bool
 	totalRuns    int
 	runs         map[string]runState
-	durs         []float64 // completed executed durations, seconds
+	workers      map[string]*workerTrack
+	runWorker    map[string]string // in-flight run → assigned worker
+	durs         []float64         // completed executed durations, seconds
 	executed     int
 	cached       int
 	failed       int
@@ -172,6 +210,8 @@ func New(cfg Config, reg *telemetry.Registry, log *eventlog.Log) *Monitor {
 		log:       log,
 		totalRuns: cfg.TotalRuns,
 		runs:      map[string]runState{},
+		workers:   map[string]*workerTrack{},
+		runWorker: map[string]string{},
 		alerts:    map[string]*alertTrack{},
 		rateLast:  map[string]float64{},
 	}
@@ -235,12 +275,30 @@ func (m *Monitor) observe(ev eventlog.Event) {
 		if id := unitID(ev); id != "" {
 			m.runs[id] = runState{start: ev.Time, span: ev.Span}
 		}
+	case eventlog.RunDispatched:
+		// A dispatch is the run's start from the campaign's point of view:
+		// queue wait on a slow worker counts toward straggler detection. It
+		// also binds the run to a worker for the per-worker rollups.
+		if id := unitID(ev); id != "" {
+			m.runs[id] = runState{start: ev.Time, span: ev.Span}
+			if w := ev.Attr("worker"); w != "" {
+				m.dispatchLocked(id, w, ev.Time)
+			}
+		}
+	case eventlog.RunLost:
+		// A dead worker's lease was reclaimed; the run requeues without
+		// consuming its attempt budget (like run.killed).
+		if id := unitID(ev); id != "" {
+			delete(m.runs, id)
+			m.settleLocked(id, ev.Time, func(wt *workerTrack) { wt.lost++ })
+		}
 	case eventlog.RunSucceeded, eventlog.TaskDone:
 		if id := unitID(ev); id != "" {
 			if st, ok := m.runs[id]; ok {
 				m.durs = append(m.durs, ev.Time.Sub(st.start).Seconds())
 				delete(m.runs, id)
 			}
+			m.settleLocked(id, ev.Time, func(wt *workerTrack) { wt.completed++ })
 		}
 		m.executed++
 	case eventlog.RunCached, eventlog.TaskCached:
@@ -249,17 +307,20 @@ func (m *Monitor) observe(ev eventlog.Event) {
 		// run as a straggler.
 		if id := unitID(ev); id != "" {
 			delete(m.runs, id)
+			m.settleLocked(id, ev.Time, func(wt *workerTrack) { wt.completed++ })
 		}
 		m.cached++
 	case eventlog.RunFailed, eventlog.TaskFailed:
 		if id := unitID(ev); id != "" {
 			delete(m.runs, id)
+			m.settleLocked(id, ev.Time, func(wt *workerTrack) { wt.completed++ })
 		}
 		m.failed++
 	case eventlog.RunKilled:
 		// Killed runs requeue — not terminal, but no longer running.
 		if id := unitID(ev); id != "" {
 			delete(m.runs, id)
+			m.settleLocked(id, ev.Time, nil)
 		}
 		m.killed++
 	case eventlog.RunRetry:
@@ -272,10 +333,81 @@ func (m *Monitor) observe(ev eventlog.Event) {
 		// point, no further attempts follow.
 		if id := unitID(ev); id != "" {
 			delete(m.runs, id)
+			m.settleLocked(id, ev.Time, func(wt *workerTrack) { wt.completed++ })
 		}
 		m.quarantined++
 	case eventlog.CampaignAborted:
 		m.aborted = true
+	case eventlog.WorkerJoin:
+		if name := ev.Attr("worker"); name != "" {
+			wt := m.workerLocked(name)
+			wt.live, wt.dead = true, false
+			wt.lastSeen = ev.Time
+			if n, err := strconv.Atoi(ev.Attr("slots")); err == nil {
+				wt.slots = n
+			}
+		}
+	case eventlog.WorkerHeartbeat:
+		if name := ev.Attr("worker"); name != "" {
+			m.workerLocked(name).lastSeen = ev.Time
+		}
+	case eventlog.WorkerDead:
+		if name := ev.Attr("worker"); name != "" {
+			wt := m.workerLocked(name)
+			wt.live, wt.dead = false, true
+		}
+	case eventlog.WorkerLeave:
+		// Clean departure after drain — gone, but not a failure.
+		if name := ev.Attr("worker"); name != "" {
+			m.workerLocked(name).live = false
+		}
+	}
+}
+
+// workerLocked returns (creating if needed) the rollup for one worker.
+func (m *Monitor) workerLocked(name string) *workerTrack {
+	wt := m.workers[name]
+	if wt == nil {
+		wt = &workerTrack{}
+		m.workers[name] = wt
+	}
+	return wt
+}
+
+// dispatchLocked binds an in-flight run to the worker it was handed to.
+// Re-dispatch after a lease expiry moves the binding; the old worker's
+// in-flight count was already settled by the run.lost event.
+func (m *Monitor) dispatchLocked(id, worker string, at time.Time) {
+	if prev, ok := m.runWorker[id]; ok {
+		if prev == worker {
+			m.workerLocked(worker).lastSeen = at
+			return
+		}
+		if wt := m.workers[prev]; wt != nil && wt.inFlight > 0 {
+			wt.inFlight--
+		}
+	}
+	m.runWorker[id] = worker
+	wt := m.workerLocked(worker)
+	wt.inFlight++
+	wt.lastSeen = at
+}
+
+// settleLocked clears a run's worker binding when it stops being in
+// flight; outcome (may be nil) folds the result into the worker's tally.
+func (m *Monitor) settleLocked(id string, at time.Time, outcome func(*workerTrack)) {
+	worker, ok := m.runWorker[id]
+	if !ok {
+		return
+	}
+	delete(m.runWorker, id)
+	wt := m.workerLocked(worker)
+	if wt.inFlight > 0 {
+		wt.inFlight--
+	}
+	wt.lastSeen = at
+	if outcome != nil {
+		outcome(wt)
 	}
 }
 
@@ -366,6 +498,38 @@ func (m *Monitor) Health() CampaignHealth {
 		sort.Slice(h.Stragglers, func(i, j int) bool {
 			return h.Stragglers[i].Run < h.Stragglers[j].Run
 		})
+	}
+
+	// Per-worker rollups (distributed campaigns only): sorted by name so
+	// the report is deterministic.
+	if len(m.workers) > 0 {
+		names := make([]string, 0, len(m.workers))
+		for name := range m.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			wt := m.workers[name]
+			wh := WorkerHealth{
+				Worker:       name,
+				Live:         wt.live,
+				Slots:        wt.slots,
+				RunsInFlight: wt.inFlight,
+				Completed:    wt.completed,
+				Lost:         wt.lost,
+			}
+			if !wt.lastSeen.IsZero() {
+				if age := now.Sub(wt.lastSeen).Seconds(); age > 0 {
+					wh.LastSeenAgeSeconds = age
+				}
+			}
+			if wt.live {
+				h.WorkersLive++
+			} else if wt.dead {
+				h.WorkersDead++
+			}
+			h.Workers = append(h.Workers, wh)
+		}
 	}
 
 	// Stall watchdog: no event progress inside the window. Never alarms

@@ -369,12 +369,19 @@ func TestRenderTextSmoke(t *testing.T) {
 		HasETA: true, ETASeconds: 26.7, MedianRunSeconds: 10,
 		Stragglers: []Straggler{{Run: "g/s/run-00003", ElapsedSeconds: 35, MedianSeconds: 10, Factor: 3.5}},
 		Stalled:    true, StallSeconds: 350,
+		WorkersLive: 1, WorkersDead: 1,
+		Workers: []WorkerHealth{
+			{Worker: "w1", Live: true, Slots: 2, RunsInFlight: 2, Completed: 3, LastSeenAgeSeconds: 4},
+			{Worker: "w2", Slots: 2, Completed: 1, Lost: 1},
+		},
 		Alerts: []AlertState{{Alert: "failure-burst", Firing: true, Value: 0.8, Threshold: 0.5}},
 	})
 	out := b.String()
 	for _, want := range []string{
 		"campaign  gwas", "6/10", "60%", "ETA", "straggler g/s/run-00003",
 		"3.5×", "STALLED", "failure-burst",
+		"workers   1 live · 1 dead", "w1", "2 in flight · 3 done", "seen 4s ago",
+		"w2", "gone", "1 lost",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)

@@ -61,6 +61,23 @@ func RenderText(w io.Writer, h CampaignHealth) {
 	if h.MedianRunSeconds > 0 {
 		fmt.Fprintf(w, "median    %s per run\n", fmtDuration(h.MedianRunSeconds))
 	}
+	if len(h.Workers) > 0 {
+		fmt.Fprintf(w, "workers   %d live · %d dead\n", h.WorkersLive, h.WorkersDead)
+		for _, wk := range h.Workers {
+			state := "live"
+			if !wk.Live {
+				state = "gone"
+			}
+			fmt.Fprintf(w, "  %-12s %s · %d in flight · %d done", wk.Worker, state, wk.RunsInFlight, wk.Completed)
+			if wk.Lost > 0 {
+				fmt.Fprintf(w, " · %d lost", wk.Lost)
+			}
+			if wk.Live && wk.LastSeenAgeSeconds > 0 {
+				fmt.Fprintf(w, " · seen %s ago", fmtDuration(wk.LastSeenAgeSeconds))
+			}
+			fmt.Fprintln(w)
+		}
+	}
 	for _, s := range h.Stragglers {
 		fmt.Fprintf(w, "straggler %s — running %s, %.1f× the %s median\n",
 			s.Run, fmtDuration(s.ElapsedSeconds), s.Factor, fmtDuration(s.MedianSeconds))

@@ -127,6 +127,22 @@ func RetryStormRule(threshold float64) Rule {
 	}
 }
 
+// DeadWorkerRule is the canned alert for the distributed plane: the
+// coordinator's remote.workers_dead gauge counts workers whose lease
+// expired without a clean leave and who have not rejoined. Any value
+// above zero means the campaign is running degraded — the lost runs
+// re-dispatch, but capacity is gone until a replacement connects (which
+// decrements the gauge and resolves the alert). Equivalent to the rule
+// string "dead-workers: remote.workers_dead > 0".
+func DeadWorkerRule() Rule {
+	return Rule{
+		Name:      "dead-workers",
+		Metric:    "remote.workers_dead",
+		Predicate: Above,
+		Threshold: 0,
+	}
+}
+
 // exceeded reports whether value trips the rule's threshold.
 func (r Rule) exceeded(value float64) bool {
 	if r.Predicate == Below {

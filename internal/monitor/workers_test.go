@@ -1,0 +1,153 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// dispatchEv emits a run.dispatched event binding a run to a worker.
+func dispatchEv(log *eventlog.Log, run, worker string) {
+	log.Append(eventlog.Info, eventlog.RunDispatched, "", 0,
+		telemetry.String("run", run), telemetry.String("worker", worker))
+}
+
+func TestWorkerRollups(t *testing.T) {
+	clk, log, m := harness(t, Config{Campaign: "dist", TotalRuns: 4})
+	log.SetMinLevel(eventlog.Debug)
+
+	log.Append(eventlog.Info, eventlog.CampaignStart, "", 1)
+	log.Append(eventlog.Info, eventlog.WorkerJoin, "w1", 1,
+		telemetry.String("worker", "w1"), telemetry.Int("slots", 2))
+	log.Append(eventlog.Info, eventlog.WorkerJoin, "w2", 1,
+		telemetry.String("worker", "w2"), telemetry.Int("slots", 1))
+
+	dispatchEv(log, "a", "w1")
+	dispatchEv(log, "b", "w1")
+	dispatchEv(log, "c", "w2")
+
+	h := m.Health()
+	if h.WorkersLive != 2 || h.WorkersDead != 0 {
+		t.Fatalf("live/dead = %d/%d, want 2/0", h.WorkersLive, h.WorkersDead)
+	}
+	if len(h.Workers) != 2 || h.Workers[0].Worker != "w1" || h.Workers[1].Worker != "w2" {
+		t.Fatalf("workers = %+v, want sorted [w1 w2]", h.Workers)
+	}
+	if w1 := h.Workers[0]; w1.RunsInFlight != 2 || w1.Slots != 2 || !w1.Live {
+		t.Errorf("w1 = %+v, want live, 2 slots, 2 in flight", w1)
+	}
+	if h.Running != 3 {
+		t.Errorf("running = %d, want 3 (dispatch counts as run start)", h.Running)
+	}
+
+	// w1 finishes one run, then its lease expires mid-campaign: the other
+	// run is reclaimed (run.lost) and re-dispatched to w2.
+	clk.advance(2 * time.Second)
+	runEv(log, eventlog.RunSucceeded, "a")
+	log.Append(eventlog.Warn, eventlog.WorkerDead, "lease expired", 1,
+		telemetry.String("worker", "w1"))
+	log.Append(eventlog.Warn, eventlog.RunLost, "", 0,
+		telemetry.String("run", "b"), telemetry.String("worker", "w1"))
+	dispatchEv(log, "b", "w2")
+	clk.advance(3 * time.Second)
+
+	h = m.Health()
+	if h.WorkersLive != 1 || h.WorkersDead != 1 {
+		t.Fatalf("live/dead = %d/%d, want 1/1 after w1 died", h.WorkersLive, h.WorkersDead)
+	}
+	w1, w2 := h.Workers[0], h.Workers[1]
+	if w1.Live || w1.RunsInFlight != 0 || w1.Completed != 1 || w1.Lost != 1 {
+		t.Errorf("w1 = %+v, want dead, 0 in flight, 1 completed, 1 lost", w1)
+	}
+	if !w2.Live || w2.RunsInFlight != 2 {
+		t.Errorf("w2 = %+v, want live with 2 in flight (b re-dispatched)", w2)
+	}
+	// w1's last sign of life was its reclaimed run 3 virtual seconds ago.
+	if w1.LastSeenAgeSeconds != 3 {
+		t.Errorf("w1 last seen age = %v, want 3", w1.LastSeenAgeSeconds)
+	}
+
+	// A heartbeat refreshes liveness without touching progress counters.
+	log.Append(eventlog.Debug, eventlog.WorkerHeartbeat, "", 1,
+		telemetry.String("worker", "w2"))
+	if h = m.Health(); h.Workers[1].LastSeenAgeSeconds != 0 {
+		t.Errorf("w2 last seen age = %v after heartbeat, want 0", h.Workers[1].LastSeenAgeSeconds)
+	}
+
+	// A replacement rejoining under the same name clears the dead flag.
+	log.Append(eventlog.Info, eventlog.WorkerJoin, "w1", 1,
+		telemetry.String("worker", "w1"), telemetry.Int("slots", 2))
+	runEv(log, eventlog.RunSucceeded, "b")
+	runEv(log, eventlog.RunSucceeded, "c")
+	log.Append(eventlog.Info, eventlog.WorkerLeave, "w1", 1, telemetry.String("worker", "w1"))
+	log.Append(eventlog.Info, eventlog.WorkerLeave, "w2", 1, telemetry.String("worker", "w2"))
+
+	h = m.Health()
+	if h.WorkersLive != 0 || h.WorkersDead != 0 {
+		t.Errorf("live/dead = %d/%d after clean drain, want 0/0", h.WorkersLive, h.WorkersDead)
+	}
+	if w2 := h.Workers[1]; w2.Completed != 2 || w2.RunsInFlight != 0 {
+		t.Errorf("w2 = %+v, want 2 completed, 0 in flight", w2)
+	}
+}
+
+// TestDeadWorkerRuleFireResolve drives the canned distributed-plane alert
+// through a full fire → resolve cycle against the coordinator's
+// remote.workers_dead gauge, checking both the health report and the
+// journaled transitions.
+func TestDeadWorkerRuleFireResolve(t *testing.T) {
+	clk := newSimClock()
+	log := eventlog.NewLog()
+	log.SetClock(clk)
+	reg := telemetry.NewRegistry()
+	dead := reg.Gauge("remote.workers_dead")
+
+	m := New(Config{Campaign: "dist", Rules: []Rule{DeadWorkerRule()}}, reg, log)
+
+	find := func(h CampaignHealth) AlertState {
+		for _, a := range h.Alerts {
+			if a.Alert == "dead-workers" {
+				return a
+			}
+		}
+		t.Fatalf("dead-workers alert missing: %+v", h.Alerts)
+		return AlertState{}
+	}
+
+	if a := find(m.Health()); a.Firing {
+		t.Fatalf("dead-workers firing with zero dead workers: %+v", a)
+	}
+
+	// A worker dies: the gauge goes to 1 and the alert fires.
+	dead.Add(1)
+	clk.advance(time.Second)
+	if a := find(m.Health()); !a.Firing || a.Value != 1 {
+		t.Fatalf("dead-workers = %+v, want firing at value 1", a)
+	}
+
+	// A replacement rejoins: the gauge drops back to 0 and the alert
+	// resolves.
+	dead.Add(-1)
+	clk.advance(time.Second)
+	if a := find(m.Health()); a.Firing {
+		t.Fatalf("dead-workers still firing after rejoin: %+v", a)
+	}
+
+	var fired, resolved bool
+	for _, ev := range log.Snapshot() {
+		if ev.Attr("alert") != "dead-workers" {
+			continue
+		}
+		switch ev.Type {
+		case eventlog.AlertFiring:
+			fired = true
+		case eventlog.AlertResolved:
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Errorf("journal transitions fired=%v resolved=%v, want both", fired, resolved)
+	}
+}

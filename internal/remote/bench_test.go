@@ -1,0 +1,81 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"fairflow/internal/cheetah"
+)
+
+// benchRuns sizes the synthetic scaling campaign (default 2000 runs;
+// REMOTE_BENCH_RUNS overrides).
+func benchRuns() int {
+	if s := os.Getenv("REMOTE_BENCH_RUNS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 2000
+}
+
+// BenchmarkRemoteCampaignScaling pins the distributed speedup: one op is a
+// full multi-thousand-run campaign over N single-slot workers. The payload
+// is a fixed 150µs stall per run — the I/O-shaped profile of real campaign
+// runs (process spawn, file reads), chosen over busy-work so the speedup
+// ratio is machine-independent: sleeping runs overlap across workers
+// whatever the host's core count. The bench gate asserts the same-run
+// ratio workers4 ≤ 0.4 × workers1 (≥2.5× speedup).
+func BenchmarkRemoteCampaignScaling(b *testing.B) {
+	total := benchRuns()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			runs := make([]cheetah.Run, total)
+			for i := range runs {
+				runs[i] = cheetah.Run{
+					ID:     fmt.Sprintf("run-%05d", i),
+					Params: map[string]string{"i": strconv.Itoa(i)},
+				}
+			}
+			exec := execFn(func(ctx context.Context, run cheetah.Run) error {
+				time.Sleep(150 * time.Microsecond)
+				return nil
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := &Engine{Listener: ln, BatchSize: 32, LeaseTTL: 2 * time.Second}
+				ctx, cancel := context.WithCancel(context.Background())
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wk := &Worker{Name: fmt.Sprintf("w%d", w), Addr: ln.Addr().String(),
+						Executor: exec, Slots: 1, Heartbeat: 200 * time.Millisecond}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						wk.Run(ctx)
+					}()
+				}
+				_, report, err := e.RunCampaign(context.Background(), "bench", runs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Complete() {
+					b.Fatalf("report = %+v", report)
+				}
+				cancel()
+				wg.Wait()
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}

@@ -1,0 +1,953 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairflow/internal/cas"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/provenance"
+	"fairflow/internal/resilience"
+	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// Engine is the RemoteEngine: the third Savanna engine, executing a
+// campaign across worker processes instead of in-process goroutines
+// (LocalEngine) or virtual time (SimEngine). It implements the same
+// contract — RunAll / RunCampaign returning per-run results and a
+// completeness report — but dispatch crosses the stream transport: workers
+// join over TCP, hold heartbeat-renewed leases, receive batched run
+// assignments, and report outcomes carrying output digests. The engine
+// owns all campaign state; workers are stateless executors, so any of them
+// can die (lease expiry re-dispatches their runs) and new ones can join
+// mid-campaign.
+type Engine struct {
+	// Listener, when non-nil, is the pre-bound control listener (lets tests
+	// and CLIs bind ":0" and learn the port before starting the campaign).
+	Listener net.Listener
+	// Addr is the listen address when Listener is nil (e.g. ":7171").
+	Addr string
+	// BatchSize is the number of runs per assignment message (default 32).
+	// Workers are topped back up to a full batch as results stream in.
+	BatchSize int
+	// LeaseTTL bounds worker silence: a worker that misses heartbeats for
+	// this long is declared dead and its runs re-dispatch (default 10s).
+	LeaseTTL time.Duration
+	// WorkerWait aborts the campaign after this long with work remaining
+	// and no live worker — covering both "no worker ever joined" and
+	// "every worker died and none returned" (default 60s).
+	WorkerWait time.Duration
+	// IOTimeout bounds each message send and each idle connection read
+	// (default 2×LeaseTTL + 2s; heartbeats keep healthy connections warm).
+	IOTimeout time.Duration
+
+	// Prov, CampaignDir, Retries, Resilience, Memo, Tracer, Metrics and
+	// Events carry the LocalEngine contract unchanged; see savanna.LocalEngine.
+	Prov        *provenance.Store
+	CampaignDir string
+	Retries     int
+	Resilience  *resilience.Config
+	// Memo short-circuits runs already satisfied by the action cache before
+	// they are ever dispatched; its ComponentDigest and InputDigests are
+	// also advertised to workers in the lease grant so worker-side memo
+	// recipes agree with the coordinator's.
+	Memo    *savanna.Memo
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+	Events  *eventlog.Log
+
+	attempt int64 // provenance record numbering
+
+	telOnce      sync.Once
+	mDispatched  *telemetry.Counter
+	mCompleted   *telemetry.Counter
+	mCached      *telemetry.Counter
+	mFailed      *telemetry.Counter
+	mLost        *telemetry.Counter
+	mDuplicates  *telemetry.Counter
+	mRetries     *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	mLeases      *telemetry.Counter
+	mHeartbeats  *telemetry.Counter
+	mSteals      *telemetry.Counter
+	mStolenRuns  *telemetry.Counter
+	mDeadTotal   *telemetry.Counter
+	gLive        *telemetry.Gauge
+	gDead        *telemetry.Gauge
+	hRunSecs     *telemetry.Histogram
+}
+
+func (e *Engine) telemetryInit() {
+	e.telOnce.Do(func() {
+		e.mDispatched = e.Metrics.Counter("remote.runs_dispatched_total")
+		e.mCompleted = e.Metrics.Counter("remote.runs_completed_total")
+		e.mCached = e.Metrics.Counter("remote.runs_cached_total")
+		e.mFailed = e.Metrics.Counter("remote.runs_failed_total")
+		e.mLost = e.Metrics.Counter("remote.runs_lost_total")
+		e.mDuplicates = e.Metrics.Counter("remote.runs_duplicate_total")
+		e.mRetries = e.Metrics.Counter("remote.retries_total")
+		e.mQuarantined = e.Metrics.Counter("remote.quarantined_total")
+		e.mLeases = e.Metrics.Counter("remote.leases_granted_total")
+		e.mHeartbeats = e.Metrics.Counter("remote.heartbeats_total")
+		e.mSteals = e.Metrics.Counter("remote.steals_total")
+		e.mStolenRuns = e.Metrics.Counter("remote.stolen_runs_total")
+		e.mDeadTotal = e.Metrics.Counter("remote.workers_dead_total")
+		e.gLive = e.Metrics.Gauge("remote.workers_live")
+		e.gDead = e.Metrics.Gauge("remote.workers_dead")
+		e.hRunSecs = e.Metrics.Histogram("remote.run_seconds", nil)
+	})
+}
+
+func (e *Engine) validate() error {
+	if e.Listener == nil && e.Addr == "" {
+		return fmt.Errorf("remote: engine needs a Listener or an Addr")
+	}
+	return nil
+}
+
+// defaults resolves the tunables.
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return 32
+}
+
+func (e *Engine) leaseTTL() time.Duration {
+	if e.LeaseTTL > 0 {
+		return e.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (e *Engine) workerWait() time.Duration {
+	if e.WorkerWait > 0 {
+		return e.WorkerWait
+	}
+	return 60 * time.Second
+}
+
+func (e *Engine) ioTimeout() time.Duration {
+	if e.IOTimeout > 0 {
+		return e.IOTimeout
+	}
+	return 2*e.leaseTTL() + 2*time.Second
+}
+
+func (e *Engine) controller() *resilience.Controller {
+	if e.Resilience != nil {
+		return resilience.NewController(*e.Resilience)
+	}
+	return resilience.NewController(resilience.Config{
+		Retry: resilience.RetryPolicy{MaxAttempts: e.Retries + 1},
+	})
+}
+
+// RunAll executes the runs across whatever workers join, returning results
+// in input order (the Savanna engine contract).
+func (e *Engine) RunAll(campaign string, runs []cheetah.Run) ([]savanna.RunResult, error) {
+	results, _, err := e.RunCampaign(context.Background(), campaign, runs)
+	return results, err
+}
+
+// wstate is one connected worker as the coordinator sees it.
+type wstate struct {
+	name  string
+	c     *conn
+	lease resilience.Lease
+	// outstanding holds run ids assigned to this worker with no terminal
+	// outcome yet (the lease-expiry re-dispatch set).
+	outstanding  map[string]bool
+	stealPending bool
+	dead         bool
+	slots        int
+}
+
+// coordinator is one campaign's live dispatch state.
+type coordinator struct {
+	e        *Engine
+	rc       *resilience.Controller
+	leases   *resilience.LeaseTable
+	campaign string
+	span     *telemetry.Span
+	ctx      context.Context
+
+	mu        sync.Mutex
+	runs      []cheetah.Run
+	index     map[string]int
+	pending   []int
+	results   []savanna.RunResult
+	terminal  []bool
+	attempts  []int
+	spans     []*telemetry.Span
+	workers   map[string]*wstate
+	died      map[string]bool
+	remaining int
+	draining  bool
+	nameSeq   int
+	zeroSince time.Time // when the live-worker count last hit zero with work remaining
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// RunCampaign executes the campaign across remote workers. The context
+// cancels the campaign: pending and outstanding runs journal as skipped,
+// workers are drained (their in-flight runs are cancelled), and the
+// completeness report accounts for every run.
+func (e *Engine) RunCampaign(ctx context.Context, campaign string, runs []cheetah.Run) ([]savanna.RunResult, resilience.CompletenessReport, error) {
+	if err := e.validate(); err != nil {
+		return nil, resilience.CompletenessReport{}, err
+	}
+	e.telemetryInit()
+	rc := e.controller()
+
+	ln := e.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", e.Addr)
+		if err != nil {
+			return nil, resilience.CompletenessReport{}, fmt.Errorf("remote: listen: %w", err)
+		}
+	}
+	defer ln.Close()
+
+	ctx, span := e.Tracer.Start(ctx, "remote.campaign",
+		telemetry.String("campaign", campaign),
+		telemetry.String("discipline", "distributed"),
+		telemetry.Int("runs", len(runs)))
+	e.Events.Append(eventlog.Info, eventlog.CampaignStart, campaign, span.ID(),
+		telemetry.String("campaign", campaign), telemetry.Int("runs", len(runs)))
+
+	co := &coordinator{
+		e: e, rc: rc, campaign: campaign, span: span, ctx: ctx,
+		leases:   resilience.NewLeaseTable(e.leaseTTL(), rc.Journal(), nil),
+		runs:     runs,
+		index:    make(map[string]int, len(runs)),
+		results:  make([]savanna.RunResult, len(runs)),
+		terminal: make([]bool, len(runs)),
+		attempts: make([]int, len(runs)),
+		spans:    make([]*telemetry.Span, len(runs)),
+		workers:  map[string]*wstate{},
+		died:     map[string]bool{},
+		doneCh:   make(chan struct{}),
+	}
+	for i, r := range runs {
+		co.index[r.ID] = i
+	}
+	co.remaining = len(runs)
+
+	// Memo short-circuit: runs whose recipe is already cached never reach
+	// the wire — the action cache is the cross-machine dedup line.
+	co.mu.Lock()
+	for i := range runs {
+		if co.remaining == 0 {
+			break
+		}
+		if e.Memo != nil && e.Memo.Validate() == nil {
+			if res, ok := e.Memo.Lookup(runs[i]); ok {
+				co.finishCachedLocked(i, "", res, 0)
+				continue
+			}
+		}
+		co.pending = append(co.pending, i)
+	}
+	if co.remaining == 0 {
+		co.doneOnce.Do(func() { close(co.doneCh) })
+	} else {
+		co.zeroSince = time.Now()
+	}
+	co.mu.Unlock()
+
+	// Accept loop, lease reaper, cancellation watcher.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			co.wg.Add(1)
+			go func() {
+				defer co.wg.Done()
+				co.handleConn(nc)
+			}()
+		}
+	}()
+	reapStop := make(chan struct{})
+	go co.reapLoop(reapStop)
+	cancelStop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.cancelCampaign("campaign cancelled")
+		case <-cancelStop:
+		}
+	}()
+
+	<-co.doneCh
+	close(cancelStop)
+	close(reapStop)
+
+	// Drain: tell every worker the campaign is over, stop accepting, and
+	// give handlers a moment to observe the clean close before forcing it.
+	co.mu.Lock()
+	co.draining = true
+	conns := make([]*conn, 0, len(co.workers))
+	for _, w := range co.workers {
+		conns = append(conns, w.c)
+		go w.c.send(OpDrain, w.name, w.lease.ID, nil)
+	}
+	co.mu.Unlock()
+	ln.Close()
+	<-acceptDone
+	waitTimeout(&co.wg, 2*time.Second)
+	for _, c := range conns {
+		c.close()
+	}
+	co.wg.Wait()
+
+	report := co.finish()
+	return co.results, report, nil
+}
+
+// waitTimeout waits for wg up to d.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(d):
+	}
+}
+
+// finish closes out the campaign span, events and report.
+func (co *coordinator) finish() resilience.CompletenessReport {
+	e := co.e
+	if reason, aborted := co.rc.Aborted(); aborted {
+		e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, co.span.ID(),
+			telemetry.String("campaign", co.campaign))
+	}
+	co.span.End()
+	e.Events.Append(eventlog.Info, eventlog.CampaignDone, co.campaign, co.span.ID(),
+		telemetry.String("campaign", co.campaign))
+	if e.Resilience != nil {
+		e.Resilience.Journal.Sync()
+	}
+	return co.rc.Report(len(co.runs))
+}
+
+// reapLoop expires silent leases: every quarter-TTL it reclaims leases
+// past their deadline (re-dispatching their runs) and aborts the campaign
+// if no live worker has shown up inside WorkerWait.
+func (co *coordinator) reapLoop(stop <-chan struct{}) {
+	period := co.e.leaseTTL() / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		for _, l := range co.leases.Expired() {
+			co.workerDead(l.Worker, "lease expired: missed heartbeats")
+		}
+		co.mu.Lock()
+		starved := co.remaining > 0 && len(co.workers) == 0 &&
+			!co.zeroSince.IsZero() && time.Since(co.zeroSince) > co.e.workerWait()
+		co.mu.Unlock()
+		if starved {
+			co.cancelCampaign(fmt.Sprintf("no live workers for %s", co.e.workerWait()))
+		}
+	}
+}
+
+// cancelCampaign aborts: every non-terminal run journals skipped and the
+// campaign unblocks. Workers are drained by the main loop.
+func (co *coordinator) cancelCampaign(reason string) {
+	co.rc.Abort(reason)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for i := range co.runs {
+		if !co.terminal[i] {
+			co.skipLocked(i)
+		}
+	}
+	co.checkDoneLocked()
+}
+
+// handleConn speaks the worker protocol on one connection.
+func (co *coordinator) handleConn(nc net.Conn) {
+	e := co.e
+	c, err := newConn(nc, e.ioTimeout())
+	if err != nil {
+		nc.Close()
+		return
+	}
+	m, err := c.recv(10 * time.Second)
+	if err != nil || m.Op != OpHello {
+		c.close()
+		return
+	}
+	hello, err := decodeBody[Hello](m)
+	if err != nil {
+		c.close()
+		return
+	}
+	if hello.Slots < 1 {
+		hello.Slots = 1
+	}
+
+	co.mu.Lock()
+	if co.draining {
+		co.mu.Unlock()
+		c.close()
+		return
+	}
+	name := m.Worker
+	if name == "" {
+		co.nameSeq++
+		name = fmt.Sprintf("worker-%d", co.nameSeq)
+	}
+	for co.workers[name] != nil {
+		co.nameSeq++
+		name = fmt.Sprintf("%s-%d", m.Worker, co.nameSeq)
+	}
+	lease := co.leases.Grant(name)
+	w := &wstate{name: name, c: c, lease: lease, outstanding: map[string]bool{}, slots: hello.Slots}
+	co.workers[name] = w
+	co.zeroSince = time.Time{}
+	if co.died[name] {
+		delete(co.died, name)
+		e.gDead.Add(-1)
+	}
+	e.gLive.Add(1)
+	e.mLeases.Inc()
+	e.Events.Append(eventlog.Info, eventlog.WorkerJoin, name, co.span.ID(),
+		telemetry.String("worker", name), telemetry.Int("slots", hello.Slots))
+	grant := LeaseGrant{Campaign: co.campaign, TTLMillis: co.e.leaseTTL().Milliseconds()}
+	if e.Memo != nil {
+		grant.Component = e.Memo.ComponentDigest
+		grant.Inputs = e.Memo.InputDigests
+	}
+	co.mu.Unlock()
+
+	if err := c.send(OpLeaseGrant, name, lease.ID, grant); err != nil {
+		co.workerDead(name, "lease grant failed: "+err.Error())
+		return
+	}
+	co.mu.Lock()
+	co.assignAllLocked()
+	co.mu.Unlock()
+
+	for {
+		m, err := c.recv(0)
+		if err != nil {
+			co.workerGone(w, err)
+			return
+		}
+		switch m.Op {
+		case OpResult:
+			out, err := decodeBody[Outcome](m)
+			if err != nil {
+				co.workerDead(name, err.Error())
+				return
+			}
+			co.handleResult(w, out)
+		case OpHeartbeat:
+			co.leases.Renew(name)
+			e.mHeartbeats.Inc()
+			if e.Events.Enabled(eventlog.Debug) {
+				e.Events.Append(eventlog.Debug, eventlog.WorkerHeartbeat, "", co.span.ID(),
+					telemetry.String("worker", name))
+			}
+			// An idle worker's heartbeat doubles as a work request — it
+			// periodically retries the steal path when a one-shot steal
+			// found nothing to take.
+			co.mu.Lock()
+			if len(w.outstanding) == 0 {
+				co.assignLocked(w)
+			}
+			co.mu.Unlock()
+		case OpStolen:
+			st, err := decodeBody[Stolen](m)
+			if err != nil {
+				co.workerDead(name, err.Error())
+				return
+			}
+			co.handleStolen(w, st)
+		}
+	}
+}
+
+// workerGone handles a connection ending: a clean drain-time departure
+// releases the lease; anything else is a death and re-dispatches.
+func (co *coordinator) workerGone(w *wstate, err error) {
+	co.mu.Lock()
+	clean := co.draining || w.dead
+	co.mu.Unlock()
+	if clean {
+		co.mu.Lock()
+		if !w.dead {
+			if _, ok := co.workers[w.name]; ok {
+				delete(co.workers, w.name)
+				co.leases.Release(w.name)
+				co.e.gLive.Add(-1)
+				co.e.Events.Append(eventlog.Info, eventlog.WorkerLeave, w.name, co.span.ID(),
+					telemetry.String("worker", w.name))
+			}
+		}
+		co.mu.Unlock()
+		w.c.close()
+		return
+	}
+	co.workerDead(w.name, err.Error())
+}
+
+// workerDead reclaims a worker's lease: every outstanding run journals
+// lost and requeues (the attempt budget is untouched — the fault was the
+// worker's), the dead gauge rises, and the remaining workers are topped up.
+func (co *coordinator) workerDead(name, reason string) {
+	e := co.e
+	co.mu.Lock()
+	w := co.workers[name]
+	if w == nil || w.dead {
+		co.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(co.workers, name)
+	if co.remaining > 0 && len(co.workers) == 0 {
+		co.zeroSince = time.Now()
+	}
+	co.leases.Expire(name, reason)
+	e.gLive.Add(-1)
+	e.gDead.Add(1)
+	e.mDeadTotal.Inc()
+	co.died[name] = true
+	lost := make([]string, 0, len(w.outstanding))
+	for id := range w.outstanding {
+		lost = append(lost, id)
+	}
+	sort.Strings(lost)
+	e.Events.Append(eventlog.Warn, eventlog.WorkerDead, reason, co.span.ID(),
+		telemetry.String("worker", name), telemetry.Int("outstanding", len(lost)))
+	_, aborted := co.rc.Aborted()
+	for _, id := range lost {
+		i := co.index[id]
+		if co.terminal[i] {
+			continue
+		}
+		co.rc.JournalAttemptWorker(id, savanna.PointKey(co.runs[i]), co.attempts[i],
+			resilience.AttemptLost, name, "", errors.New(reason))
+		e.mLost.Inc()
+		e.Events.Append(eventlog.Warn, eventlog.RunLost, reason, co.spanID(i),
+			telemetry.String("run", id), telemetry.String("worker", name))
+		if aborted {
+			co.skipLocked(i) // an aborted campaign never re-dispatches
+		} else {
+			co.pending = append(co.pending, i)
+		}
+	}
+	w.outstanding = map[string]bool{}
+	co.assignAllLocked()
+	co.checkDoneLocked()
+	co.mu.Unlock()
+	w.c.close()
+}
+
+// spanID returns the run's live span id (0 when none).
+func (co *coordinator) spanID(i int) int64 {
+	if co.spans[i] != nil {
+		return co.spans[i].ID()
+	}
+	return co.span.ID()
+}
+
+// assignAllLocked tops up every live worker, hungriest first.
+func (co *coordinator) assignAllLocked() {
+	ws := make([]*wstate, 0, len(co.workers))
+	for _, w := range co.workers {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if len(ws[i].outstanding) != len(ws[j].outstanding) {
+			return len(ws[i].outstanding) < len(ws[j].outstanding)
+		}
+		return ws[i].name < ws[j].name
+	})
+	for _, w := range ws {
+		co.assignLocked(w)
+	}
+}
+
+// assignLocked tops the worker up to a full batch from the pending queue,
+// or triggers a steal when the queue is dry and the worker is idle.
+func (co *coordinator) assignLocked(w *wstate) {
+	e := co.e
+	if w.dead || co.draining {
+		return
+	}
+	if _, aborted := co.rc.Aborted(); aborted {
+		return
+	}
+	want := e.batchSize() - len(w.outstanding)
+	var batch []cheetah.Run
+	for want > 0 && len(co.pending) > 0 {
+		i := co.pending[0]
+		co.pending = co.pending[1:]
+		if co.terminal[i] {
+			continue
+		}
+		run := co.runs[i]
+		// Quarantine gate at dispatch: a side-lined sweep point fails here,
+		// never crossing the wire.
+		if q := co.rc.Quarantine(); !q.Allow(savanna.PointKey(run)) {
+			co.quarantineLocked(i, w.name, 0, nil)
+			continue
+		}
+		batch = append(batch, run)
+		w.outstanding[run.ID] = true
+		co.attemptStartSpanLocked(i)
+		co.rc.JournalAttemptWorker(run.ID, savanna.PointKey(run), co.attempts[i],
+			resilience.AttemptDispatched, w.name, "", nil)
+		e.mDispatched.Inc()
+		e.Events.Append(eventlog.Info, eventlog.RunDispatched, "", co.spanID(i),
+			telemetry.String("run", run.ID), telemetry.String("worker", w.name))
+		want--
+	}
+	if len(batch) > 0 {
+		go func(c *conn, name string, lease int64, runs []cheetah.Run) {
+			if err := c.send(OpAssign, name, lease, Assignment{Runs: runs}); err != nil {
+				co.workerDead(name, "assign failed: "+err.Error())
+			}
+		}(w.c, w.name, w.lease.ID, batch)
+		return
+	}
+	if len(w.outstanding) == 0 {
+		co.stealForLocked(w)
+	}
+}
+
+// attemptStartSpanLocked opens the run's span on first dispatch.
+func (co *coordinator) attemptStartSpanLocked(i int) {
+	if co.spans[i] == nil {
+		_, span := co.e.Tracer.Start(co.ctx, "remote.run",
+			telemetry.String("run", co.runs[i].ID))
+		co.spans[i] = span
+	}
+}
+
+// stealForLocked rebalances: ask the most-loaded worker to give back half
+// its queued runs for an idle one. The victim relinquishes only runs it
+// has not started, so stealing never double-executes.
+func (co *coordinator) stealForLocked(idle *wstate) {
+	var victim *wstate
+	for _, w := range co.workers {
+		if w == idle || w.dead || w.stealPending {
+			continue
+		}
+		// A worker executes up to `slots` runs at once; only its queue
+		// beyond that is stealable.
+		if len(w.outstanding) <= w.slots {
+			continue
+		}
+		if victim == nil || len(w.outstanding) > len(victim.outstanding) ||
+			(len(w.outstanding) == len(victim.outstanding) && w.name < victim.name) {
+			victim = w
+		}
+	}
+	if victim == nil {
+		return
+	}
+	n := (len(victim.outstanding) - victim.slots + 1) / 2
+	if n < 1 {
+		return
+	}
+	victim.stealPending = true
+	co.e.mSteals.Inc()
+	co.e.Events.Append(eventlog.Info, eventlog.WorkSteal, "", co.span.ID(),
+		telemetry.String("from", victim.name), telemetry.String("to", idle.name),
+		telemetry.Int("n", n))
+	go func(c *conn, name string, lease int64, n int) {
+		if err := c.send(OpSteal, name, lease, Steal{N: n}); err != nil {
+			co.workerDead(name, "steal failed: "+err.Error())
+		}
+	}(victim.c, victim.name, victim.lease.ID, n)
+}
+
+// handleStolen requeues the runs a victim relinquished and feeds the
+// hungry workers.
+func (co *coordinator) handleStolen(w *wstate, st Stolen) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	w.stealPending = false
+	_, aborted := co.rc.Aborted()
+	for _, id := range st.RunIDs {
+		i, ok := co.index[id]
+		if !ok || co.terminal[i] || !w.outstanding[id] {
+			continue
+		}
+		delete(w.outstanding, id)
+		co.e.mStolenRuns.Inc()
+		if aborted {
+			co.skipLocked(i)
+		} else {
+			co.pending = append(co.pending, i)
+		}
+	}
+	co.assignAllLocked()
+	co.checkDoneLocked()
+}
+
+// handleResult folds one worker outcome into the campaign.
+func (co *coordinator) handleResult(w *wstate, out Outcome) {
+	e := co.e
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	i, ok := co.index[out.RunID]
+	if !ok {
+		return
+	}
+	delete(w.outstanding, out.RunID)
+	if co.terminal[i] {
+		// A re-dispatched run completed twice (lease expired under a slow
+		// but living worker, or a steal raced a start). First terminal
+		// outcome won; this one is accounting noise, never a double count.
+		e.mDuplicates.Inc()
+		co.assignAllLocked()
+		return
+	}
+	run := co.runs[i]
+	point := savanna.PointKey(run)
+	if out.OK {
+		var res cas.ActionResult
+		if len(out.Outputs) > 0 {
+			res.Outputs = map[string]cas.Digest{}
+			for k, v := range out.Outputs {
+				res.Outputs[k] = cas.Digest(v)
+			}
+		}
+		if out.Cached {
+			co.finishCachedLocked(i, w.name, res, out.Seconds)
+		} else {
+			co.attempts[i]++
+			co.rc.JournalAttemptWorker(run.ID, point, co.attempts[i],
+				resilience.AttemptSuccess, w.name, "", nil)
+			co.rc.Quarantine().NoteSuccess(point)
+			co.setStatus(run, cheetah.RunSucceeded)
+			e.appendProvenance(co.campaign, run, provenance.StatusSucceeded,
+				time.Duration(out.Seconds*float64(time.Second)), res, false)
+			co.results[i] = savanna.RunResult{
+				Run: run, Status: provenance.StatusSucceeded,
+				Seconds: out.Seconds, Attempts: co.attempts[i],
+			}
+			co.terminal[i] = true
+			co.remaining--
+			if co.rc.NoteOutcome(resilience.OutcomeSucceeded) {
+				co.noteAbortLocked()
+			}
+			e.mCompleted.Inc()
+			e.hRunSecs.Observe(out.Seconds)
+			co.endSpanLocked(i, "succeeded", false)
+			e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", co.spanID(i),
+				telemetry.String("run", run.ID), telemetry.String("worker", w.name))
+		}
+		co.checkDoneLocked()
+		co.assignAllLocked()
+		return
+	}
+
+	// Failure path: classify, maybe quarantine, maybe retry.
+	co.attempts[i]++
+	class := resilience.Class(out.Class)
+	if class == "" {
+		class = resilience.ClassTransient
+	}
+	failErr := errors.New(out.Err)
+	co.rc.JournalAttemptWorker(run.ID, point, co.attempts[i],
+		resilience.AttemptFailure, w.name, class, failErr)
+	if co.rc.Quarantine().NoteFailure(point) {
+		co.quarantineLocked(i, w.name, co.attempts[i], failErr)
+		co.checkDoneLocked()
+		co.assignAllLocked()
+		return
+	}
+	_, aborted := co.rc.Aborted()
+	if class.Retryable() && co.attempts[i] < co.rc.Attempts() && !aborted {
+		co.rc.NoteRetry()
+		e.mRetries.Inc()
+		e.Events.Append(eventlog.Warn, eventlog.RunRetry, out.Err, co.spanID(i),
+			telemetry.String("run", run.ID), telemetry.Int("attempt", co.attempts[i]),
+			telemetry.String("class", string(class)))
+		// Requeue at the back: the rest of the sweep paces the retry, the
+		// distributed analogue of backoff (any worker may pick it up).
+		co.pending = append(co.pending, i)
+		co.assignAllLocked()
+		return
+	}
+	co.setStatus(run, cheetah.RunFailed)
+	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	co.results[i] = savanna.RunResult{
+		Run: run, Status: provenance.StatusFailed, Err: out.Err,
+		Seconds: out.Seconds, Attempts: co.attempts[i],
+	}
+	co.terminal[i] = true
+	co.remaining--
+	if co.rc.NoteOutcome(resilience.OutcomeFailed) {
+		co.noteAbortLocked()
+	}
+	e.mFailed.Inc()
+	co.endSpanLocked(i, "failed", false)
+	e.Events.Append(eventlog.Error, eventlog.RunFailed, out.Err, co.spanID(i),
+		telemetry.String("run", run.ID), telemetry.String("worker", w.name),
+		telemetry.Int("attempts", co.attempts[i]))
+	co.checkDoneLocked()
+	co.assignAllLocked()
+}
+
+// finishCachedLocked closes out a memo-satisfied run (coordinator-side
+// short-circuit or a worker-side cache hit).
+func (co *coordinator) finishCachedLocked(i int, worker string, res cas.ActionResult, seconds float64) {
+	e := co.e
+	run := co.runs[i]
+	co.rc.JournalAttemptWorker(run.ID, savanna.PointKey(run), 0,
+		resilience.AttemptCached, worker, "", nil)
+	co.rc.NoteOutcome(resilience.OutcomeCached)
+	co.setStatus(run, cheetah.RunSucceeded)
+	e.appendProvenance(co.campaign, run, provenance.StatusSucceeded,
+		time.Duration(seconds*float64(time.Second)), res, true)
+	co.results[i] = savanna.RunResult{
+		Run: run, Status: provenance.StatusSucceeded, Seconds: seconds, Cached: true,
+	}
+	co.terminal[i] = true
+	co.remaining--
+	e.mCached.Inc()
+	co.endSpanLocked(i, "succeeded", true)
+	attrs := []telemetry.Attr{telemetry.String("run", run.ID)}
+	if worker != "" {
+		attrs = append(attrs, telemetry.String("worker", worker))
+	}
+	e.Events.Append(eventlog.Info, eventlog.RunCached, "", co.spanID(i), attrs...)
+	co.checkDoneLocked()
+}
+
+// quarantineLocked closes out a run whose sweep point is side-lined.
+func (co *coordinator) quarantineLocked(i int, worker string, attempts int, cause error) {
+	e := co.e
+	run := co.runs[i]
+	point := savanna.PointKey(run)
+	msg := "sweep point " + point + " quarantined"
+	if cause != nil {
+		msg = cause.Error()
+	}
+	co.rc.JournalAttemptWorker(run.ID, point, attempts,
+		resilience.AttemptQuarantined, worker, resilience.Classify(cause), cause)
+	co.setStatus(run, cheetah.RunFailed)
+	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	co.results[i] = savanna.RunResult{
+		Run: run, Status: provenance.StatusFailed, Err: msg,
+		Attempts: attempts, Quarantined: true,
+	}
+	co.terminal[i] = true
+	co.remaining--
+	if co.rc.NoteOutcome(resilience.OutcomeQuarantined) {
+		co.noteAbortLocked()
+	}
+	e.mQuarantined.Inc()
+	e.mFailed.Inc()
+	co.endSpanLocked(i, "failed", false)
+	e.Events.Append(eventlog.Error, eventlog.RunQuarantined, msg, co.spanID(i),
+		telemetry.String("run", run.ID), telemetry.String("point", point))
+}
+
+// skipLocked records a run the campaign never finished dispatching.
+func (co *coordinator) skipLocked(i int) {
+	run := co.runs[i]
+	co.rc.JournalAttempt(run.ID, savanna.PointKey(run), 0, resilience.AttemptSkipped, "", nil)
+	co.rc.NoteOutcome(resilience.OutcomeSkipped)
+	co.e.appendProvenance(co.campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false)
+	co.results[i] = savanna.RunResult{Run: run, Status: provenance.StatusSkipped}
+	co.terminal[i] = true
+	co.remaining--
+	co.endSpanLocked(i, "skipped", false)
+}
+
+// noteAbortLocked reacts to the stop condition tripping: pending runs are
+// skipped so the campaign winds down instead of grinding on.
+func (co *coordinator) noteAbortLocked() {
+	reason, _ := co.rc.Aborted()
+	co.e.Events.Append(eventlog.Error, eventlog.CampaignAborted, reason, co.span.ID(),
+		telemetry.String("campaign", co.campaign))
+	for _, i := range co.pending {
+		if !co.terminal[i] {
+			co.skipLocked(i)
+		}
+	}
+	co.pending = nil
+	co.checkDoneLocked()
+}
+
+// checkDoneLocked unblocks RunCampaign once every run is terminal.
+func (co *coordinator) checkDoneLocked() {
+	if co.remaining == 0 {
+		co.doneOnce.Do(func() { close(co.doneCh) })
+	}
+}
+
+// endSpanLocked closes the run's span once.
+func (co *coordinator) endSpanLocked(i int, status string, cached bool) {
+	if co.spans[i] == nil {
+		co.attemptStartSpanLocked(i)
+	}
+	co.spans[i].End(telemetry.Bool("cached", cached), telemetry.String("status", status),
+		telemetry.Int("attempts", co.attempts[i]))
+}
+
+// setStatus mirrors the run's terminal state into the campaign directory.
+func (co *coordinator) setStatus(run cheetah.Run, st cheetah.RunStatus) {
+	if co.e.CampaignDir != "" {
+		cheetah.SetRunStatus(co.e.CampaignDir, run.ID, st)
+	}
+}
+
+// appendProvenance mirrors savanna.LocalEngine's record shape so a remote
+// campaign's provenance is indistinguishable from a local one (same
+// component, same digest fields, same cached annotation).
+func (e *Engine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool) {
+	if e.Prov == nil {
+		return
+	}
+	end := time.Now()
+	rec := provenance.Record{
+		ID:         fmt.Sprintf("%s/%s#%d", campaign, run.ID, atomic.AddInt64(&e.attempt, 1)),
+		Component:  "savanna-run",
+		Start:      end.Add(-elapsed),
+		End:        end,
+		Status:     status,
+		CampaignID: campaign,
+		SweepPoint: run.Params,
+		Inputs:     e.Memo.ProvenanceInputs(),
+		Outputs:    savanna.ProvenanceOutputs(res),
+	}
+	if cached {
+		rec.Annotations = append(rec.Annotations, provenance.Annotation{
+			Key: "cached", Value: "true", Sensitivity: provenance.Public,
+		})
+	}
+	e.Prov.Append(rec)
+}

@@ -1,0 +1,225 @@
+// Package remote is the third Savanna engine: a coordinator/worker
+// execution plane that shards a campaign across OS processes connected by
+// the internal/stream TCP transport. The coordinator owns the campaign —
+// the run queue, the resilience controller, the attempt journal, the memo
+// cache — and dispatches batched assignments to workers holding leases;
+// workers execute runs and report outcomes, moving artifacts by digest
+// through a (typically shared) CAS store rather than shipping bytes over
+// the control connection. Lease expiry re-dispatches a dead worker's runs;
+// the journal keeps exactly-once accounting across worker and coordinator
+// crashes alike.
+//
+// The wire protocol is one FBS-typed record schema (remote.v1) carrying a
+// punctuation-style operation verb, the worker name, the lease id, and a
+// JSON body whose shape the verb selects — the same typed-records +
+// control-punctuation design as the streaming substrate, reused for the
+// execution plane. See DESIGN.md §4g for the record schemas and the lease
+// state machine.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/stream"
+)
+
+// Protocol operation verbs (the control punctuation of the execution
+// plane). Direction is noted per verb.
+const (
+	// OpHello opens a worker session (worker → coordinator): body Hello.
+	OpHello = "hello"
+	// OpLeaseGrant admits the worker (coordinator → worker): body LeaseGrant.
+	OpLeaseGrant = "lease-grant"
+	// OpAssign hands the worker a batch of runs (coordinator → worker):
+	// body Assignment.
+	OpAssign = "assign"
+	// OpResult reports one run's terminal outcome (worker → coordinator):
+	// body Outcome.
+	OpResult = "result"
+	// OpHeartbeat renews the worker's lease (worker → coordinator): body
+	// Heartbeat.
+	OpHeartbeat = "heartbeat"
+	// OpSteal asks the worker to relinquish queued-but-unstarted runs
+	// (coordinator → worker): body Steal.
+	OpSteal = "steal"
+	// OpStolen returns the run ids actually relinquished (worker →
+	// coordinator): body Stolen.
+	OpStolen = "stolen"
+	// OpDrain tells the worker the campaign is over (coordinator → worker);
+	// the worker finishes nothing further and closes cleanly.
+	OpDrain = "drain"
+)
+
+// msgSchema is the one typed record layout of the execution plane.
+var msgSchema = &stream.Schema{
+	Name: "remote.v1",
+	Fields: []stream.Field{
+		{Name: "op", Type: stream.TString},
+		{Name: "worker", Type: stream.TString},
+		{Name: "lease", Type: stream.TInt64},
+		{Name: "body", Type: stream.TBytes},
+	},
+}
+
+// Hello is a worker's session-opening body.
+type Hello struct {
+	// Slots is the worker's run concurrency (≥1).
+	Slots int `json:"slots"`
+}
+
+// LeaseGrant is the coordinator's admission body.
+type LeaseGrant struct {
+	Campaign string `json:"campaign"`
+	// TTLMillis is the lease duration; the worker must heartbeat well
+	// inside it (TTL/3 is the convention).
+	TTLMillis int64 `json:"ttl_ms"`
+	// Component and Inputs seed the worker's memo recipe so its action
+	// cache keys agree with the coordinator's: same component digest, same
+	// campaign-level input digests — artifacts resolve by digest on any
+	// machine sharing the store.
+	Component string            `json:"component,omitempty"`
+	Inputs    map[string]string `json:"inputs,omitempty"`
+}
+
+// Assignment is one batch of runs.
+type Assignment struct {
+	Runs []cheetah.Run `json:"runs"`
+}
+
+// Outcome is one run's terminal report from a worker.
+type Outcome struct {
+	RunID   string  `json:"run"`
+	OK      bool    `json:"ok"`
+	Cached  bool    `json:"cached,omitempty"`
+	Seconds float64 `json:"seconds"`
+	Err     string  `json:"err,omitempty"`
+	// Class carries the worker-side failure classification (transient /
+	// permanent / deadline) so the coordinator's retry policy sees the same
+	// error taxonomy it would in-process.
+	Class string `json:"class,omitempty"`
+	// Outputs are the run's artifacts by digest (name → digest), already
+	// pushed into the worker's CAS — the coordinator materializes from its
+	// own store view; bytes never ride the control connection.
+	Outputs map[string]string `json:"outputs,omitempty"`
+}
+
+// Heartbeat renews a lease and reports queue occupancy (the coordinator's
+// steal heuristic input).
+type Heartbeat struct {
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+}
+
+// Steal asks a worker to give back up to N queued runs.
+type Steal struct {
+	N int `json:"n"`
+}
+
+// Stolen lists the run ids a worker actually relinquished (never ones it
+// already started — stealing must not double-execute).
+type Stolen struct {
+	RunIDs []string `json:"runs"`
+}
+
+// msg is one decoded protocol record.
+type msg struct {
+	Op     string
+	Worker string
+	Lease  int64
+	Body   []byte
+}
+
+// decodeBody parses a message body into the verb's payload type.
+func decodeBody[T any](m msg) (T, error) {
+	var v T
+	if len(m.Body) == 0 {
+		return v, nil
+	}
+	if err := json.Unmarshal(m.Body, &v); err != nil {
+		return v, fmt.Errorf("remote: bad %s body: %w", m.Op, err)
+	}
+	return v, nil
+}
+
+// conn wraps one protocol connection: an FBS encoder/decoder pair over TCP
+// with a send mutex (heartbeats and results interleave from different
+// goroutines) and per-message I/O deadlines.
+type conn struct {
+	c   net.Conn
+	dec *stream.Decoder
+
+	mu  sync.Mutex
+	enc *stream.Encoder
+	// timeout bounds each send and each idle read; zero disables deadlines.
+	timeout time.Duration
+	seq     int64
+}
+
+func newConn(c net.Conn, timeout time.Duration) (*conn, error) {
+	enc, err := stream.NewEncoder(c, msgSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c, enc: enc, dec: stream.NewDecoder(c), timeout: timeout}, nil
+}
+
+// send encodes one message. body is JSON-marshalled; nil sends an empty
+// body.
+func (c *conn) send(op, worker string, lease int64, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return err
+		}
+	}
+	rec, err := stream.NewRecord(msgSchema, op, worker, lease, payload)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	c.seq++
+	if err := c.enc.Encode(stream.Item{Seq: c.seq, Time: time.Now(), Payload: rec}); err != nil {
+		return err
+	}
+	return c.enc.Flush()
+}
+
+// recv decodes the next message, waiting at most maxIdle (0 = the conn's
+// default timeout; negative = no deadline).
+func (c *conn) recv(maxIdle time.Duration) (msg, error) {
+	if maxIdle == 0 {
+		maxIdle = c.timeout
+	}
+	if maxIdle > 0 {
+		c.c.SetReadDeadline(time.Now().Add(maxIdle))
+	} else {
+		c.c.SetReadDeadline(time.Time{})
+	}
+	it, err := c.dec.Decode()
+	if err != nil {
+		return msg{}, err
+	}
+	r := it.Payload
+	if r.Schema == nil || !r.Schema.Equal(*msgSchema) {
+		return msg{}, fmt.Errorf("remote: unexpected schema %q", r.Schema.Name)
+	}
+	return msg{
+		Op:     r.Values[0].(string),
+		Worker: r.Values[1].(string),
+		Lease:  r.Values[2].(int64),
+		Body:   r.Values[3].([]byte),
+	}, nil
+}
+
+func (c *conn) close() error { return c.c.Close() }

@@ -1,0 +1,406 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fairflow/internal/cas"
+	"fairflow/internal/cheetah"
+	"fairflow/internal/resilience"
+	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// Worker is the remote execution half: it dials a coordinator, accepts a
+// lease, and executes assigned runs with a local executor, reporting each
+// outcome with its artifacts as CAS digests. A worker holds no campaign
+// state — kill it any time; the coordinator's lease expiry re-dispatches
+// whatever it was holding.
+type Worker struct {
+	// Name identifies the worker to the coordinator (and in the journal and
+	// health rollups). Empty lets the coordinator assign one.
+	Name string
+	// Addr is the coordinator's control address (host:port).
+	Addr string
+	// Dial overrides the default TCP dial — tests inject pipes or faulty
+	// connections here.
+	Dial func() (net.Conn, error)
+	// Executor runs the work, exactly as in savanna.LocalEngine. A
+	// ContextExecutor is cancelled on drain.
+	Executor savanna.Executor
+	// Slots is the local run concurrency (default 1).
+	Slots int
+	// Heartbeat overrides the renewal period (default: lease TTL / 3).
+	Heartbeat time.Duration
+	// IOTimeout bounds each message send (default 10s).
+	IOTimeout time.Duration
+	// Cache, when set, gives the worker a memo recipe seeded from the lease
+	// grant: cache hits skip execution, and successful runs push their
+	// outputs (named by Collect) into the store so only digests travel back.
+	Cache *cas.ActionCache
+	// Collect and Restore complete the memo, as in savanna.Memo.
+	Collect func(run cheetah.Run) (map[string]string, error)
+	Restore func(run cheetah.Run, outputs map[string]cas.Digest) error
+
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+	Events  *eventlog.Log
+
+	telOnce   sync.Once
+	mExecuted *telemetry.Counter
+	mCached   *telemetry.Counter
+	mFailed   *telemetry.Counter
+	mStolen   *telemetry.Counter
+	gQueued   *telemetry.Gauge
+	gInFlight *telemetry.Gauge
+	hRunSecs  *telemetry.Histogram
+}
+
+func (w *Worker) telemetryInit() {
+	w.telOnce.Do(func() {
+		w.mExecuted = w.Metrics.Counter("remote_worker.runs_executed_total")
+		w.mCached = w.Metrics.Counter("remote_worker.runs_cached_total")
+		w.mFailed = w.Metrics.Counter("remote_worker.runs_failed_total")
+		w.mStolen = w.Metrics.Counter("remote_worker.runs_relinquished_total")
+		w.gQueued = w.Metrics.Gauge("remote_worker.queued")
+		w.gInFlight = w.Metrics.Gauge("remote_worker.in_flight")
+		w.hRunSecs = w.Metrics.Histogram("remote_worker.run_seconds", nil)
+	})
+}
+
+func (w *Worker) slots() int {
+	if w.Slots > 0 {
+		return w.Slots
+	}
+	return 1
+}
+
+func (w *Worker) ioTimeout() time.Duration {
+	if w.IOTimeout > 0 {
+		return w.IOTimeout
+	}
+	return 10 * time.Second
+}
+
+// wsession is one connected campaign session's worker-side state.
+type wsession struct {
+	w    *Worker
+	c    *conn
+	name string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []cheetah.Run
+	inFlight int
+	draining bool
+	readErr  error
+
+	cancel context.CancelFunc
+}
+
+// Run serves one campaign: dial, hello, lease, then execute assignments
+// until the coordinator drains the session (returns nil) or the connection
+// breaks (returns the error). The context cancels in-flight runs and
+// disconnects.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Executor == nil {
+		return fmt.Errorf("remote: worker needs an executor")
+	}
+	if w.Addr == "" && w.Dial == nil {
+		return fmt.Errorf("remote: worker needs a coordinator address")
+	}
+	w.telemetryInit()
+
+	dial := w.Dial
+	if dial == nil {
+		dial = func() (net.Conn, error) { return net.Dial("tcp", w.Addr) }
+	}
+	nc, err := dial()
+	if err != nil {
+		return fmt.Errorf("remote: dialing coordinator: %w", err)
+	}
+	c, err := newConn(nc, w.ioTimeout())
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	defer c.close()
+
+	if err := c.send(OpHello, w.Name, 0, Hello{Slots: w.slots()}); err != nil {
+		return fmt.Errorf("remote: hello: %w", err)
+	}
+	m, err := c.recv(10 * time.Second)
+	if err != nil {
+		return fmt.Errorf("remote: waiting for lease: %w", err)
+	}
+	if m.Op == OpDrain {
+		return nil // campaign already over
+	}
+	if m.Op != OpLeaseGrant {
+		return fmt.Errorf("remote: expected lease-grant, got %q", m.Op)
+	}
+	grant, err := decodeBody[LeaseGrant](m)
+	if err != nil {
+		return err
+	}
+	name := m.Worker // the coordinator may have uniqued it
+	lease := m.Lease
+
+	var memo *savanna.Memo
+	if w.Cache != nil {
+		memo = &savanna.Memo{
+			Cache:           w.Cache,
+			ComponentDigest: grant.Component,
+			InputDigests:    grant.Inputs,
+			Collect:         w.Collect,
+			Restore:         w.Restore,
+		}
+		if memo.Validate() != nil {
+			memo = nil
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s := &wsession{w: w, c: c, name: name, cancel: cancel}
+	s.cond = sync.NewCond(&s.mu)
+	runCtx, span := w.Tracer.Start(runCtx, "remote.worker",
+		telemetry.String("worker", name), telemetry.String("campaign", grant.Campaign))
+	defer span.End()
+	w.Events.Append(eventlog.Info, eventlog.WorkerJoin, grant.Campaign, span.ID(),
+		telemetry.String("worker", name), telemetry.Int("slots", w.slots()))
+
+	// Heartbeat at a third of the TTL — two may be lost before the lease
+	// lapses.
+	hb := w.Heartbeat
+	if hb <= 0 {
+		hb = time.Duration(grant.TTLMillis) * time.Millisecond / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go s.heartbeatLoop(hb, lease, hbStop)
+
+	// Context cancellation unblocks everything: executors via runCtx, the
+	// reader via the closed connection.
+	go func() {
+		select {
+		case <-runCtx.Done():
+			c.close()
+			s.wake()
+		case <-hbStop:
+		}
+	}()
+
+	var eg sync.WaitGroup
+	for i := 0; i < w.slots(); i++ {
+		eg.Add(1)
+		go func() {
+			defer eg.Done()
+			s.executeLoop(runCtx, memo, lease, span)
+		}()
+	}
+
+	err = s.readLoop(lease)
+	cancel() // drain or disconnect: stop in-flight work
+	s.wake()
+	eg.Wait()
+	if err == nil {
+		w.Events.Append(eventlog.Info, eventlog.WorkerLeave, grant.Campaign, span.ID(),
+			telemetry.String("worker", name))
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// wake broadcasts the session condition so blocked executors re-check.
+func (s *wsession) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// readLoop consumes coordinator messages until drain (nil) or failure.
+func (s *wsession) readLoop(lease int64) error {
+	for {
+		m, err := s.c.recv(-1) // block indefinitely: silence is normal between batches
+		if err != nil {
+			s.mu.Lock()
+			s.readErr = err
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return fmt.Errorf("remote: coordinator connection: %w", err)
+		}
+		switch m.Op {
+		case OpAssign:
+			a, err := decodeBody[Assignment](m)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.queue = append(s.queue, a.Runs...)
+			s.w.gQueued.Set(float64(len(s.queue)))
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case OpSteal:
+			st, err := decodeBody[Steal](m)
+			if err != nil {
+				return err
+			}
+			s.relinquish(st.N, lease)
+		case OpDrain:
+			s.mu.Lock()
+			s.draining = true
+			s.queue = nil
+			s.w.gQueued.Set(0)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return nil
+		}
+	}
+}
+
+// relinquish gives back up to n runs from the tail of the local queue —
+// only runs no executor has started, so a steal can never double-execute.
+func (s *wsession) relinquish(n int, lease int64) {
+	s.mu.Lock()
+	if n > len(s.queue) {
+		n = len(s.queue)
+	}
+	ids := make([]string, 0, n)
+	if n > 0 {
+		cut := len(s.queue) - n
+		for _, r := range s.queue[cut:] {
+			ids = append(ids, r.ID)
+		}
+		s.queue = s.queue[:cut]
+		s.w.gQueued.Set(float64(len(s.queue)))
+	}
+	s.mu.Unlock()
+	for range ids {
+		s.w.mStolen.Inc()
+	}
+	// Always answer, even with nothing to give — the coordinator's
+	// steal-in-flight latch waits for the reply.
+	s.c.send(OpStolen, s.name, lease, Stolen{RunIDs: ids})
+}
+
+// heartbeatLoop renews the lease until the session ends; a failed send
+// means the coordinator is unreachable, which cancels the session.
+func (s *wsession) heartbeatLoop(period time.Duration, lease int64, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		hb := Heartbeat{Queued: len(s.queue), InFlight: s.inFlight}
+		s.mu.Unlock()
+		if err := s.c.send(OpHeartbeat, s.name, lease, hb); err != nil {
+			s.cancel()
+			return
+		}
+	}
+}
+
+// executeLoop is one slot: pull, execute, report, repeat.
+func (s *wsession) executeLoop(ctx context.Context, memo *savanna.Memo, lease int64, parent *telemetry.Span) {
+	w := s.w
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining && s.readErr == nil && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		if s.draining || s.readErr != nil || ctx.Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		run := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inFlight++
+		w.gQueued.Set(float64(len(s.queue)))
+		w.gInFlight.Add(1)
+		s.mu.Unlock()
+
+		out := s.execute(ctx, run, memo)
+
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+		w.gInFlight.Add(-1)
+		// A failed send is a session failure; the reader will notice the
+		// broken connection and wind the session down.
+		s.c.send(OpResult, s.name, lease, out)
+	}
+}
+
+// execute runs one assignment locally: memo lookup, execution, memo record,
+// classification — the worker-side mirror of LocalEngine's attempt body.
+func (s *wsession) execute(ctx context.Context, run cheetah.Run, memo *savanna.Memo) Outcome {
+	w := s.w
+	_, span := w.Tracer.Start(ctx, "remote.worker.run", telemetry.String("run", run.ID))
+	start := time.Now()
+	if memo != nil {
+		if res, ok := memo.Lookup(run); ok {
+			w.mCached.Inc()
+			span.End(telemetry.Bool("cached", true))
+			w.Events.Append(eventlog.Info, eventlog.RunCached, "", span.ID(),
+				telemetry.String("run", run.ID))
+			return Outcome{RunID: run.ID, OK: true, Cached: true,
+				Seconds: time.Since(start).Seconds(), Outputs: digestStrings(res)}
+		}
+	}
+	w.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(),
+		telemetry.String("run", run.ID), telemetry.String("worker", s.name))
+	var err error
+	if cx, ok := w.Executor.(savanna.ContextExecutor); ok {
+		err = cx.ExecuteContext(ctx, run)
+	} else {
+		err = w.Executor.Execute(run)
+	}
+	var outputs map[string]string
+	if err == nil && memo != nil {
+		var res cas.ActionResult
+		if res, err = memo.Record(run); err == nil {
+			outputs = digestStrings(res)
+		}
+	}
+	seconds := time.Since(start).Seconds()
+	w.hRunSecs.Observe(seconds)
+	if err != nil {
+		w.mFailed.Inc()
+		span.End(telemetry.String("status", "failed"))
+		w.Events.Append(eventlog.Error, eventlog.RunFailed, err.Error(), span.ID(),
+			telemetry.String("run", run.ID), telemetry.String("worker", s.name))
+		return Outcome{RunID: run.ID, Seconds: seconds,
+			Err: err.Error(), Class: string(resilience.Classify(err))}
+	}
+	w.mExecuted.Inc()
+	span.End(telemetry.String("status", "succeeded"))
+	w.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(),
+		telemetry.String("run", run.ID), telemetry.String("worker", s.name))
+	return Outcome{RunID: run.ID, OK: true, Seconds: seconds, Outputs: outputs}
+}
+
+// digestStrings renders an action result's outputs for the wire.
+func digestStrings(res cas.ActionResult) map[string]string {
+	if len(res.Outputs) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(res.Outputs))
+	for k, d := range res.Outputs {
+		out[k] = string(d)
+	}
+	return out
+}

@@ -125,18 +125,29 @@ func (c *Controller) SetNow(now func() time.Time) { c.cfg.Now = now }
 // JournalAttempt appends one attempt transition to the journal (no-op
 // without one configured).
 func (c *Controller) JournalAttempt(run, point string, attempt int, event string, class Class, err error) {
+	c.JournalAttemptWorker(run, point, attempt, event, "", class, err)
+}
+
+// JournalAttemptWorker is JournalAttempt with the leaseholder recorded —
+// the remote coordinator's dispatch/lost/terminal transitions name the
+// worker that held (or lost) the run.
+func (c *Controller) JournalAttemptWorker(run, point string, attempt int, event, worker string, class Class, err error) {
 	if c.cfg.Journal == nil {
 		return
 	}
 	rec := AttemptRecord{
 		Run: run, Point: point, Attempt: attempt,
-		Event: event, Class: class, Time: c.now(),
+		Event: event, Class: class, Time: c.now(), Worker: worker,
 	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
 	c.cfg.Journal.Append(rec)
 }
+
+// Journal exposes the configured attempt journal (nil when none) — the
+// lease table shares it so leases and attempts form one ledger.
+func (c *Controller) Journal() *Journal { return c.cfg.Journal }
 
 // Outcome kinds for NoteOutcome.
 const (

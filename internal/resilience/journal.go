@@ -33,7 +33,32 @@ const (
 	// AttemptSkipped marks a run never attempted because the campaign
 	// aborted first.
 	AttemptSkipped = "skipped"
+	// AttemptDispatched records a run handed to a remote worker under a
+	// lease. Dispatch is not execution: on replay the run is still owed, so
+	// a coordinator crash between dispatch and the worker's result re-issues
+	// the run — the exactly-once ledger spans both processes.
+	AttemptDispatched = "dispatched"
+	// AttemptLost records a dispatched run reclaimed from an expired worker
+	// lease; like AttemptKilled it requeues without consuming the run's
+	// attempt budget (the fault was the worker's, not the run's).
+	AttemptLost = "lost"
 )
+
+// Lease journal events. Lease records share the attempt journal (they are
+// part of the same exactly-once story) under the pseudo run id
+// "worker/<name>", which Replay leaves pending and Remaining never matches.
+const (
+	// LeaseGranted marks a worker admitted to the campaign.
+	LeaseGranted = "lease-granted"
+	// LeaseExpired marks a lease reclaimed after missed heartbeats; every
+	// run dispatched under it gets a paired AttemptLost record.
+	LeaseExpired = "lease-expired"
+	// LeaseReleased marks a clean worker departure (drain handshake).
+	LeaseReleased = "lease-released"
+)
+
+// LeaseRunID renders the pseudo run id lease records journal under.
+func LeaseRunID(worker string) string { return "worker/" + worker }
 
 // AttemptRecord is one line of the attempt journal.
 type AttemptRecord struct {
@@ -44,6 +69,9 @@ type AttemptRecord struct {
 	Class   Class     `json:"class,omitempty"`
 	Time    time.Time `json:"time"`
 	Err     string    `json:"err,omitempty"`
+	// Worker names the leaseholder for dispatched/lost/lease-* records —
+	// the remote execution plane's audit trail.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Journal is the append-only attempt log. Appends go through O_APPEND so a
@@ -291,6 +319,11 @@ func Replay(recs []AttemptRecord) *ResumeState {
 			if r.Event == AttemptQuarantined && r.Point != "" {
 				s.QuarantinedPoints[r.Point] = true
 			}
+		case AttemptDispatched, AttemptLost:
+			// Dispatched-but-unfinished and lease-reclaimed runs are owed:
+			// resume re-dispatches them. (Lease records under "worker/<name>"
+			// pseudo ids land here too and stay pending — Remaining filters
+			// on real run ids, so they never resurface as work.)
 		}
 		// AttemptKilled and AttemptSkipped leave the run pending: both
 		// requeue on resume.

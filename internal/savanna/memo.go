@@ -110,6 +110,29 @@ func (m *Memo) record(run cheetah.Run) (cas.ActionResult, error) {
 	return res, nil
 }
 
+// Validate checks the memo configuration — the exported form engines
+// outside this package (internal/remote) gate on.
+func (m *Memo) Validate() error { return m.validate() }
+
+// Lookup checks for a usable cached result, restoring outputs when
+// configured; the bool reports a hit. Exported for the remote engine: the
+// coordinator short-circuits already-computed runs before dispatching, and
+// workers short-circuit against their own (possibly shared) store.
+func (m *Memo) Lookup(run cheetah.Run) (cas.ActionResult, bool) { return m.lookup(run) }
+
+// Record ingests a successful run's outputs into the store and caches the
+// result under the run's recipe (exported for the remote worker, which
+// pushes outputs by digest instead of shipping bytes back).
+func (m *Memo) Record(run cheetah.Run) (cas.ActionResult, error) { return m.record(run) }
+
+// ProvenanceInputs renders the memo's key material as a provenance Inputs
+// map; nil-receiver-safe, mirroring the engines' provenance paths.
+func (m *Memo) ProvenanceInputs() map[string]string { return m.provenanceInputs() }
+
+// ProvenanceOutputs renders an action result's outputs as a provenance
+// Outputs map.
+func ProvenanceOutputs(res cas.ActionResult) map[string]string { return provenanceOutputs(res) }
+
 // provenanceInputs renders the memo's key material as a provenance Inputs
 // map (name → digest) — the gauge ontology's input-digest term made real.
 func (m *Memo) provenanceInputs() map[string]string {

@@ -145,6 +145,11 @@ func (d *Decoder) Schema() (*Schema, error) {
 	if d.schema != nil {
 		return d.schema, nil
 	}
+	// io.ReadFull reports io.EOF only when zero bytes were read — the one
+	// genuinely clean way for a stream to end before its header. Every
+	// later EOF in the header is a torn frame and surfaces as
+	// io.ErrUnexpectedEOF, so callers never mistake a truncated header for
+	// an empty stream.
 	var magic [4]byte
 	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
 		return nil, err
@@ -154,28 +159,28 @@ func (d *Decoder) Schema() (*Schema, error) {
 	}
 	version, err := d.r.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if version != fbsVersion {
 		return nil, fmt.Errorf("stream: unsupported FBS version %d", version)
 	}
 	name, err := readString16(d.r)
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	var count uint16
 	if err := binary.Read(d.r, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	s := &Schema{Name: name}
 	for i := 0; i < int(count); i++ {
 		tb, err := d.r.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 		fname, err := readString16(d.r)
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 		s.Fields = append(s.Fields, Field{Name: fname, Type: FieldType(tb)})
 	}

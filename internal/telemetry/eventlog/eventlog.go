@@ -130,6 +130,24 @@ const (
 
 	AlertFiring   = "alert.firing"
 	AlertResolved = "alert.resolved"
+
+	// Remote execution plane (internal/remote). Worker events carry the
+	// "worker" attribute; dispatch/lost events carry both "run" and
+	// "worker" so the monitor can roll runs-in-flight up per worker.
+	WorkerJoin      = "worker.join"      // lease granted to a joining worker
+	WorkerHeartbeat = "worker.heartbeat" // lease renewed (Debug level: liveness, not progress)
+	WorkerDead      = "worker.dead"      // lease reclaimed; its runs re-dispatch
+	WorkerLeave     = "worker.leave"     // clean departure after drain
+	// RunDispatched marks a run handed to a worker under its lease; the
+	// monitor treats it as the run's start (queue wait counts toward
+	// straggler detection — a run stuck behind a slow worker IS late).
+	RunDispatched = "run.dispatched"
+	// RunLost marks a dispatched run reclaimed from a dead worker's lease;
+	// like run.killed it requeues without consuming the attempt budget.
+	RunLost = "run.lost"
+	// WorkSteal marks a rebalance: an idle worker triggered reclamation of
+	// queued-but-unstarted runs from the busiest worker (attrs: from, to, n).
+	WorkSteal = "work.steal"
 )
 
 // Event is one journal record. Span, when non-zero, is the trace-local ID
