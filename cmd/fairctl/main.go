@@ -19,11 +19,14 @@
 //	fairctl metrics -f dump.json [-format prom|json]
 //	                                  render a telemetry dump's metrics (Prometheus
 //	                                  text or JSON snapshot)
-//	fairctl trace -f dump.json [-o trace.json] [campaign]
+//	fairctl trace -f dump.json [-o trace.json] [-require-workers N] [campaign]
 //	                                  convert a dump's spans to Chrome trace_event
 //	                                  JSON (chrome://tracing, ui.perfetto.dev);
 //	                                  an optional campaign argument keeps only
-//	                                  trees rooted at that campaign
+//	                                  trees rooted at that campaign;
+//	                                  -require-workers N verifies a merged fleet
+//	                                  trace (no orphaned parents, worker run spans
+//	                                  from ≥N workers under coordinator dispatch)
 //	fairctl watch [-addr host:port | -dir campaignDir] [-interval 2s] [campaign]
 //	                                  poll a live campaign (the engine's
 //	                                  /health.json endpoint, or a materialised
@@ -134,13 +137,14 @@ func main() {
 		metricsCmd(*file, *format)
 	case "trace":
 		fs := flag.NewFlagSet("trace", flag.ExitOnError)
-		file := fs.String("f", "", "telemetry dump JSON (as written by gwaspaste -telemetry)")
+		file := fs.String("f", "", "telemetry dump JSON (as written by gwaspaste or savanna -telemetry)")
 		out := fs.String("o", "", "output trace file (default stdout)")
+		requireWorkers := fs.Int("require-workers", 0, "verify the dump is a merged fleet trace: no orphaned parents, and worker run spans from at least this many distinct workers parented under coordinator dispatch spans")
 		fs.Parse(os.Args[2:])
 		if *file == "" {
 			fatal(fmt.Errorf("trace needs -f"))
 		}
-		traceCmd(*file, *out, fs.Arg(0))
+		traceCmd(*file, *out, fs.Arg(0), *requireWorkers)
 	case "watch":
 		watchCmd(os.Args[2:])
 	case "health":
@@ -185,7 +189,7 @@ func metricsCmd(file, format string) {
 	}
 }
 
-func traceCmd(file, out, campaign string) {
+func traceCmd(file, out, campaign string, requireWorkers int) {
 	dump := readDump(file)
 	spans := dump.Spans
 	if campaign != "" {
@@ -195,6 +199,14 @@ func traceCmd(file, out, campaign string) {
 		if len(spans) == 0 {
 			fatal(fmt.Errorf("trace: no span tree rooted at campaign %q", campaign))
 		}
+	}
+	if requireWorkers > 0 {
+		workers, err := verifyFleetTrace(spans, requireWorkers)
+		if err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "fairctl: fleet trace verified — %d span(s), worker run spans from %d worker(s) under coordinator dispatch spans, no orphaned parents\n",
+			len(spans), workers)
 	}
 	dst := os.Stdout
 	if out != "" {
@@ -212,6 +224,49 @@ func traceCmd(file, out, campaign string) {
 		fmt.Fprintf(os.Stderr, "fairctl: wrote %d span(s) to %s (load in chrome://tracing or ui.perfetto.dev)\n",
 			len(spans), out)
 	}
+}
+
+// verifyFleetTrace checks that a span set is a well-formed merged fleet
+// trace: every parent reference resolves inside the set (the coordinator's
+// id remap left no orphans), and worker-executed run spans from at least
+// minWorkers distinct workers sit under a coordinator dispatch span
+// ("remote.run") — i.e. the campaign really did render as ONE trace across
+// processes. Returns the distinct worker count.
+func verifyFleetTrace(spans []telemetry.SpanData, minWorkers int) (int, error) {
+	byID := make(map[int64]telemetry.SpanData, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; !ok {
+				return 0, fmt.Errorf("span %d (%s) has orphaned parent %d — merge lost an ancestor", s.ID, s.Name, s.Parent)
+			}
+		}
+	}
+	// Climb each worker-attributed span's ancestry looking for a coordinator
+	// dispatch span. The step cap guards against parent cycles in a
+	// corrupted dump; a healthy trace is a forest.
+	workers := map[string]bool{}
+	for _, s := range spans {
+		wk := s.Attr("worker")
+		if wk == "" || s.Parent == 0 {
+			continue
+		}
+		cur, steps := s, 0
+		for cur.Parent != 0 && steps < len(spans)+1 {
+			cur = byID[cur.Parent]
+			steps++
+			if cur.Name == "remote.run" {
+				workers[wk] = true
+				break
+			}
+		}
+	}
+	if len(workers) < minWorkers {
+		return len(workers), fmt.Errorf("fleet trace has worker spans under coordinator dispatch from %d worker(s), need %d — telemetry merge incomplete", len(workers), minWorkers)
+	}
+	return len(workers), nil
 }
 
 func openStore(dir string) *cas.Store {

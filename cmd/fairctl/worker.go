@@ -15,6 +15,7 @@ import (
 	"fairflow/internal/cheetah"
 	"fairflow/internal/remote"
 	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
 )
 
@@ -81,7 +82,12 @@ func workerCmd(args []string) {
 			WorkRoot: *workdir,
 			Timeout:  *timeout,
 		},
-		Events: eventlog.NewLog(),
+		// Full local telemetry plane: run spans, queue-wait/exec histograms
+		// and events all ship back to the coordinator piggybacked on the
+		// heartbeat cadence, so the campaign renders as one merged trace.
+		Tracer:  telemetry.NewTracer(),
+		Metrics: telemetry.NewRegistry(),
+		Events:  eventlog.NewLog(),
 	}
 	runDir := func(run cheetah.Run) string {
 		return filepath.Join(*workdir, filepath.FromSlash(run.ID))

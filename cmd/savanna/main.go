@@ -12,7 +12,12 @@
 //
 //	savanna run -campaign campaigns/<name> -remote :7171 \
 //	    [-batch 32] [-lease-ttl 10s] [-worker-wait 60s] \
-//	    [-events events.jsonl] [-health health.json] [-monitor-addr :8080]
+//	    [-events events.jsonl] [-health health.json] [-monitor-addr :8080] \
+//	    [-telemetry telemetry.json]
+//
+// -telemetry writes the merged fleet telemetry after the campaign: the
+// coordinator's spans plus every worker span shipped back over the control
+// connection, one trace — render it with "fairctl trace -f telemetry.json".
 //
 // Built-in demo apps:
 //
@@ -61,6 +66,7 @@ func main() {
 	workerWait := fs.Duration("worker-wait", 60*time.Second, "remote: abort after this long with work left and no live worker")
 	eventsOut := fs.String("events", "", "remote: write the event journal JSONL here")
 	healthOut := fs.String("health", "", "remote: write the final campaign health JSON here")
+	telemetryOut := fs.String("telemetry", "", "remote: write the merged telemetry dump (metrics, fleet trace spans, events) JSON here — feed it to fairctl trace/metrics/health")
 	monitorAddr := fs.String("monitor-addr", "", "remote: serve live /health.json on this address")
 	fs.Parse(os.Args[2:])
 
@@ -106,7 +112,8 @@ func main() {
 		results, err = runRemote(remoteOpts{
 			addr: *remoteAddr, dir: *dir, batch: *batch,
 			leaseTTL: *leaseTTL, workerWait: *workerWait,
-			eventsOut: *eventsOut, healthOut: *healthOut, monitorAddr: *monitorAddr,
+			eventsOut: *eventsOut, healthOut: *healthOut, telemetryOut: *telemetryOut,
+			monitorAddr: *monitorAddr,
 		}, prov, m.Campaign.Name, todo)
 	} else {
 		eng := &savanna.LocalEngine{
@@ -154,6 +161,7 @@ type remoteOpts struct {
 	batch                int
 	leaseTTL, workerWait time.Duration
 	eventsOut, healthOut string
+	telemetryOut         string
 	monitorAddr          string
 }
 
@@ -168,6 +176,7 @@ func runRemote(o remoteOpts, prov *provenance.Store, campaign string, todo []che
 	}
 	log := eventlog.NewLog()
 	metrics := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
 	mon := monitor.New(monitor.Config{
 		Campaign:  campaign,
 		TotalRuns: len(todo),
@@ -188,6 +197,7 @@ func runRemote(o remoteOpts, prov *provenance.Store, campaign string, todo []che
 		WorkerWait:  o.workerWait,
 		Prov:        prov,
 		CampaignDir: o.dir,
+		Tracer:      tracer,
 		Metrics:     metrics,
 		Events:      log,
 	}
@@ -205,7 +215,24 @@ func runRemote(o remoteOpts, prov *provenance.Store, campaign string, todo []che
 			fmt.Fprintln(os.Stderr, "savanna: writing health:", werr)
 		}
 	}
+	if o.telemetryOut != "" {
+		// The merged dump: coordinator spans plus every worker span the
+		// fleet shipped back, one trace — fairctl trace renders it as a
+		// single flamegraph.
+		if werr := writeTelemetryJSON(o.telemetryOut, metrics, tracer, log); werr != nil {
+			fmt.Fprintln(os.Stderr, "savanna: writing telemetry:", werr)
+		}
+	}
 	return results, err
+}
+
+func writeTelemetryJSON(path string, metrics *telemetry.Registry, tracer *telemetry.Tracer, log *eventlog.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return eventlog.Collect(metrics, tracer, log).WriteJSON(f)
 }
 
 func writeEventsJSONL(path string, log *eventlog.Log) error {

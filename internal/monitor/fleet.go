@@ -1,0 +1,114 @@
+package monitor
+
+import "fairflow/internal/telemetry"
+
+// Metric names the fleet rollup aggregates: the per-worker histograms the
+// remote engine's telemetry sync merges into the coordinator registry
+// (one series per worker label).
+const (
+	fleetQueueWaitMetric = "remote_worker.queue_wait_seconds"
+	fleetExecMetric      = "remote_worker.run_seconds"
+)
+
+// DistSummary condenses one fleet-wide histogram: observation count, mean,
+// and interpolated quantiles.
+type DistSummary struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+}
+
+// FleetHealth is the distributed campaign's execution rollup, aggregated
+// across every worker's merged series: how long runs queued on workers
+// before a slot picked them up, and how long they executed.
+type FleetHealth struct {
+	QueueWait *DistSummary `json:"queue_wait,omitempty"`
+	Exec      *DistSummary `json:"exec,omitempty"`
+}
+
+// fleetFromSnapshot builds the fleet rollup from the merged worker
+// histograms in a metrics snapshot (nil when no worker telemetry landed).
+func fleetFromSnapshot(snap telemetry.MetricsSnapshot) *FleetHealth {
+	qw := sumSeries(snap, fleetQueueWaitMetric)
+	ex := sumSeries(snap, fleetExecMetric)
+	if qw == nil && ex == nil {
+		return nil
+	}
+	return &FleetHealth{QueueWait: qw, Exec: ex}
+}
+
+// sumSeries folds every series of one histogram name (one per worker
+// label) into a single distribution and summarises it. Series whose bucket
+// layout disagrees with the first seen are skipped — they cannot be added
+// meaningfully.
+func sumSeries(snap telemetry.MetricsSnapshot, name string) *DistSummary {
+	var (
+		bounds []float64
+		counts []uint64
+		inf    uint64
+		count  uint64
+		sum    float64
+	)
+	for _, h := range snap.Histograms {
+		if h.Name != name || h.Count == 0 {
+			continue
+		}
+		if bounds == nil {
+			bounds = h.Bounds
+			counts = make([]uint64, len(h.Counts))
+		}
+		if len(h.Counts) != len(counts) {
+			continue
+		}
+		for i, c := range h.Counts {
+			counts[i] += c
+		}
+		inf += h.Inf
+		count += h.Count
+		sum += h.Sum
+	}
+	if count == 0 {
+		return nil
+	}
+	return &DistSummary{
+		Count:       count,
+		MeanSeconds: sum / float64(count),
+		P50Seconds:  histQuantile(bounds, counts, inf, 0.50),
+		P95Seconds:  histQuantile(bounds, counts, inf, 0.95),
+	}
+}
+
+// histQuantile estimates quantile q from fixed buckets, Prometheus-style:
+// linear interpolation inside the bucket the rank lands in. Observations
+// in the +Inf bucket clamp to the last finite bound — an estimate can
+// never exceed what the buckets resolve.
+func histQuantile(bounds []float64, counts []uint64, inf uint64, q float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	total := inf
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			if c == 0 {
+				return bounds[i]
+			}
+			return lo + (bounds[i]-lo)*(rank-float64(prev))/float64(c)
+		}
+	}
+	return bounds[len(bounds)-1]
+}

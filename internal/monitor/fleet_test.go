@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+func TestFleetRollupSumsWorkerSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bounds := []float64{0.1, 1, 10}
+	for i, wk := range []string{"w1", "w2"} {
+		qw := reg.Histogram(fleetQueueWaitMetric, bounds, "worker", wk)
+		ex := reg.Histogram(fleetExecMetric, bounds, "worker", wk)
+		for j := 0; j < 10; j++ {
+			qw.Observe(0.05) // all in the first bucket
+			ex.Observe(0.5 + float64(i))
+		}
+	}
+	log := eventlog.NewLog()
+	m := New(Config{Campaign: "c"}, reg, log)
+	h := m.Health()
+	if h.Fleet == nil {
+		t.Fatal("Fleet nil with worker series present")
+	}
+	if h.Fleet.QueueWait == nil || h.Fleet.QueueWait.Count != 20 {
+		t.Fatalf("queue wait = %+v, want both workers' 20 observations summed", h.Fleet.QueueWait)
+	}
+	if h.Fleet.Exec == nil || h.Fleet.Exec.Count != 20 {
+		t.Fatalf("exec = %+v", h.Fleet.Exec)
+	}
+	// w1 executed at ~0.5s, w2 at ~1.5s → mean 1.0, p50 inside (0.1,1],
+	// p95 inside (1,10].
+	if math.Abs(h.Fleet.Exec.MeanSeconds-1.0) > 1e-9 {
+		t.Fatalf("exec mean = %v, want 1.0", h.Fleet.Exec.MeanSeconds)
+	}
+	if p := h.Fleet.Exec.P50Seconds; p <= 0.1 || p > 1 {
+		t.Fatalf("exec p50 = %v, want inside (0.1, 1]", p)
+	}
+	if p := h.Fleet.Exec.P95Seconds; p <= 1 || p > 10 {
+		t.Fatalf("exec p95 = %v, want inside (1, 10]", p)
+	}
+	if p := h.Fleet.QueueWait.P95Seconds; p <= 0 || p > 0.1 {
+		t.Fatalf("queue wait p95 = %v, want inside (0, 0.1]", p)
+	}
+
+	// The text report carries the rollup.
+	var sb strings.Builder
+	RenderText(&sb, h)
+	if !strings.Contains(sb.String(), "fleet") {
+		t.Fatalf("RenderText lacks fleet line:\n%s", sb.String())
+	}
+}
+
+func TestFleetRollupAbsentWithoutWorkerSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Histogram("remote.run_seconds", nil).Observe(1) // coordinator-side, not fleet
+	m := New(Config{Campaign: "c"}, reg, eventlog.NewLog())
+	if h := m.Health(); h.Fleet != nil {
+		t.Fatalf("Fleet = %+v, want nil with no remote_worker series", h.Fleet)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := histQuantile(nil, nil, 0, 0.5); got != 0 {
+		t.Fatalf("empty bounds → %v", got)
+	}
+	if got := histQuantile(bounds, []uint64{0, 0, 0}, 0, 0.5); got != 0 {
+		t.Fatalf("zero total → %v", got)
+	}
+	// All mass in one bucket interpolates inside it.
+	if got := histQuantile(bounds, []uint64{0, 10, 0}, 0, 0.5); got <= 1 || got > 2 {
+		t.Fatalf("p50 = %v, want inside (1, 2]", got)
+	}
+	// Observations beyond the last bound clamp to it, never invent values.
+	if got := histQuantile(bounds, []uint64{0, 0, 0}, 5, 0.99); got != 4 {
+		t.Fatalf("+Inf-only p99 = %v, want clamped to 4", got)
+	}
+}
+
+// TestWorkerOriginEventsNotDoubleCounted pins the merge contract: run
+// lifecycle events shipped from workers carry origin=worker and must not
+// advance the monitor's counters — the coordinator's own Outcome-driven
+// events already did.
+func TestWorkerOriginEventsNotDoubleCounted(t *testing.T) {
+	_, log, m := harness(t, Config{Campaign: "c", TotalRuns: 4})
+	runEv(log, eventlog.RunSucceeded, "a") // coordinator's own event
+	log.Append(eventlog.Info, eventlog.RunSucceeded, "", 0,
+		telemetry.String("run", "a"), telemetry.String("origin", "worker"),
+		telemetry.String("worker", "w1")) // the worker's shipped copy
+	log.Append(eventlog.Error, eventlog.RunFailed, "boom", 0,
+		telemetry.String("run", "b"), telemetry.String("origin", "worker"))
+	h := m.Health()
+	if h.Executed != 1 {
+		t.Fatalf("executed = %d, want 1 (worker copy skipped)", h.Executed)
+	}
+	if h.Failed != 0 {
+		t.Fatalf("failed = %d, want 0 (worker-origin failure skipped)", h.Failed)
+	}
+}

@@ -128,6 +128,11 @@ type CampaignHealth struct {
 	WorkersDead int            `json:"workers_dead,omitempty"`
 	Workers     []WorkerHealth `json:"workers,omitempty"`
 
+	// Fleet aggregates the workers' merged execution histograms (queue wait
+	// and execution time across every worker) — present only when worker
+	// telemetry has been merged into the registry.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
+
 	Alerts []AlertState `json:"alerts,omitempty"`
 }
 
@@ -243,6 +248,14 @@ func unitID(ev eventlog.Event) string {
 func (m *Monitor) observe(ev eventlog.Event) {
 	switch ev.Type {
 	case eventlog.AlertFiring, eventlog.AlertResolved:
+		return
+	}
+	// Worker-shipped events (merged into this log by the remote engine's
+	// telemetry sync, tagged origin=worker) are the worker's own view of
+	// runs the coordinator already accounts for via Outcome reports —
+	// folding them again would double count progress. The fleet-wide view
+	// of worker execution comes from the merged metrics instead (Fleet).
+	if ev.Attr("origin") == "worker" {
 		return
 	}
 	m.mu.Lock()
@@ -531,6 +544,8 @@ func (m *Monitor) Health() CampaignHealth {
 			h.Workers = append(h.Workers, wh)
 		}
 	}
+
+	h.Fleet = fleetFromSnapshot(snap)
 
 	// Stall watchdog: no event progress inside the window. Never alarms
 	// before the first event or after the campaign finished.

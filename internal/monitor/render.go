@@ -78,6 +78,19 @@ func RenderText(w io.Writer, h CampaignHealth) {
 			fmt.Fprintln(w)
 		}
 	}
+	if f := h.Fleet; f != nil {
+		fmt.Fprintf(w, "fleet    ")
+		if d := f.QueueWait; d != nil {
+			fmt.Fprintf(w, " queue wait p50 %.3gs · p95 %.3gs", d.P50Seconds, d.P95Seconds)
+		}
+		if d := f.Exec; d != nil {
+			if f.QueueWait != nil {
+				fmt.Fprintf(w, " ·")
+			}
+			fmt.Fprintf(w, " exec p50 %.3gs · p95 %.3gs (%d runs)", d.P50Seconds, d.P95Seconds, d.Count)
+		}
+		fmt.Fprintln(w)
+	}
 	for _, s := range h.Stragglers {
 		fmt.Fprintf(w, "straggler %s — running %s, %.1f× the %s median\n",
 			s.Run, fmtDuration(s.ElapsedSeconds), s.Factor, fmtDuration(s.MedianSeconds))

@@ -16,6 +16,7 @@ import (
 	"fairflow/internal/resilience"
 	"fairflow/internal/savanna"
 	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // chaosRuns sizes the worker-kill campaign; CI's chaos job raises it to
@@ -83,9 +84,11 @@ func TestRemoteChaosWorkerKill(t *testing.T) {
 	}
 	defer j.Close()
 	metrics := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	events := eventlog.NewLog()
 	ln := listen(t)
 	e := &Engine{Listener: ln, BatchSize: 16, LeaseTTL: 400 * time.Millisecond,
-		Metrics: metrics,
+		Metrics: metrics, Tracer: tracer, Events: events,
 		Resilience: &resilience.Config{
 			Retry:   resilience.RetryPolicy{MaxAttempts: 4},
 			Journal: j,
@@ -125,7 +128,10 @@ func TestRemoteChaosWorkerKill(t *testing.T) {
 										defer wg.Done()
 										w := &Worker{Name: "w3", Addr: ln.Addr().String(),
 											Executor: chaosPayload(remoteOut, &execs, nil),
-											Slots:    2, Heartbeat: 50 * time.Millisecond}
+											Slots:    2, Heartbeat: 50 * time.Millisecond,
+											Tracer:  telemetry.NewTracer(),
+											Metrics: telemetry.NewRegistry(),
+											Events:  eventlog.NewLog()}
 										w.Run(ctx)
 									}()
 								}()
@@ -137,7 +143,10 @@ func TestRemoteChaosWorkerKill(t *testing.T) {
 		}
 		w := &Worker{Name: name, Addr: ln.Addr().String(),
 			Executor: chaosPayload(remoteOut, &execs, hook),
-			Slots:    2, Heartbeat: 50 * time.Millisecond}
+			Slots:    2, Heartbeat: 50 * time.Millisecond,
+			Tracer:  telemetry.NewTracer(),
+			Metrics: telemetry.NewRegistry(),
+			Events:  eventlog.NewLog()}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -214,5 +223,36 @@ func TestRemoteChaosWorkerKill(t *testing.T) {
 
 	if lost := metrics.Counter("remote.runs_lost_total").Value(); lost > 0 {
 		t.Logf("chaos recovered %d lost runs across %d lease expiries", lost, expired)
+	}
+
+	// Telemetry survived the chaos: the merged trace holds worker run spans
+	// from surviving workers (clean drains always flush), every parent
+	// reference resolves, and worker-attributed spans chain up to the
+	// coordinator's dispatch spans. Batches lost with killed connections are
+	// allowed — they are counted, never re-ordered into corruption.
+	spans := tracer.Snapshot()
+	byID := map[int64]telemetry.SpanData{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	fleet := map[string]bool{}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; !ok {
+				t.Fatalf("merged span %d (%s) has orphaned parent %d", s.ID, s.Name, s.Parent)
+			}
+		}
+		if s.Name == "remote.worker.run" && s.Parent != 0 {
+			if p := byID[s.Parent]; p.Name != "remote.run" {
+				t.Fatalf("worker run span %d parents under %q, want remote.run", s.ID, p.Name)
+			}
+			fleet[s.Attr("worker")] = true
+		}
+	}
+	if len(fleet) < 2 {
+		t.Fatalf("merged worker run spans from %d worker(s) (%v), want ≥2", len(fleet), fleet)
+	}
+	if dropped := metrics.Counter("remote.telemetry_dropped_total").Value(); dropped > 0 {
+		t.Logf("chaos dropped %d telemetry record(s) (counted, zero lost runs)", dropped)
 	}
 }

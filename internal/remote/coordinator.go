@@ -83,6 +83,15 @@ type Engine struct {
 	gLive        *telemetry.Gauge
 	gDead        *telemetry.Gauge
 	hRunSecs     *telemetry.Histogram
+
+	// Fleet-telemetry instruments: heartbeat round trips (the skew
+	// estimator's input), merged telemetry batches and spans, and telemetry
+	// the fleet lost to bounded buffers (dropping is allowed, silence is
+	// not).
+	hHeartbeatRTT     *telemetry.Histogram
+	mTelemetryBatches *telemetry.Counter
+	mWorkerSpans      *telemetry.Counter
+	mTelemetryDropped *telemetry.Counter
 }
 
 func (e *Engine) telemetryInit() {
@@ -103,6 +112,10 @@ func (e *Engine) telemetryInit() {
 		e.gLive = e.Metrics.Gauge("remote.workers_live")
 		e.gDead = e.Metrics.Gauge("remote.workers_dead")
 		e.hRunSecs = e.Metrics.Histogram("remote.run_seconds", nil)
+		e.hHeartbeatRTT = e.Metrics.Histogram("remote.heartbeat_rtt_seconds", nil)
+		e.mTelemetryBatches = e.Metrics.Counter("remote.telemetry_batches_total")
+		e.mWorkerSpans = e.Metrics.Counter("remote.telemetry_spans_total")
+		e.mTelemetryDropped = e.Metrics.Counter("remote.telemetry_dropped_total")
 	})
 }
 
@@ -169,6 +182,11 @@ type wstate struct {
 	stealPending bool
 	dead         bool
 	slots        int
+	// skew is this worker's clock-offset estimate; idmap translates its
+	// span ids into the coordinator tracer's id space (lazily populated by
+	// the telemetry merge). Both live under co.mu.
+	skew  skewEstimator
+	idmap map[int64]int64
 }
 
 // coordinator is one campaign's live dispatch state.
@@ -469,20 +487,44 @@ func (co *coordinator) handleConn(nc net.Conn) {
 			}
 			co.handleResult(w, out)
 		case OpHeartbeat:
+			hb, err := decodeBody[Heartbeat](m)
+			if err != nil {
+				co.workerDead(name, err.Error())
+				return
+			}
 			co.leases.Renew(name)
 			e.mHeartbeats.Inc()
+			if hb.RTTNanos > 0 {
+				e.hHeartbeatRTT.Observe(time.Duration(hb.RTTNanos).Seconds())
+			}
 			if e.Events.Enabled(eventlog.Debug) {
 				e.Events.Append(eventlog.Debug, eventlog.WorkerHeartbeat, "", co.span.ID(),
 					telemetry.String("worker", name))
 			}
+			co.mu.Lock()
+			if hb.SentUnixNano != 0 {
+				w.skew.sample(time.Unix(0, hb.SentUnixNano), time.Duration(hb.RTTNanos), time.Now())
+			}
 			// An idle worker's heartbeat doubles as a work request — it
 			// periodically retries the steal path when a one-shot steal
 			// found nothing to take.
-			co.mu.Lock()
 			if len(w.outstanding) == 0 {
 				co.assignLocked(w)
 			}
 			co.mu.Unlock()
+			if hb.SentUnixNano != 0 {
+				// Echo the send stamp so the worker can measure the round
+				// trip; a failed ack needs no handling — the read loop
+				// notices a dead connection on its own.
+				go c.send(OpHeartbeatAck, name, m.Lease, HeartbeatAck{EchoUnixNano: hb.SentUnixNano})
+			}
+		case OpTelemetry:
+			b, err := decodeBody[TelemetryBatch](m)
+			if err != nil {
+				co.workerDead(name, err.Error())
+				return
+			}
+			co.handleTelemetry(w, b, time.Now())
 		case OpStolen:
 			st, err := decodeBody[Stolen](m)
 			if err != nil {
@@ -607,6 +649,7 @@ func (co *coordinator) assignLocked(w *wstate) {
 	}
 	want := e.batchSize() - len(w.outstanding)
 	var batch []cheetah.Run
+	var tracectx map[string]string
 	for want > 0 && len(co.pending) > 0 {
 		i := co.pending[0]
 		co.pending = co.pending[1:]
@@ -623,6 +666,14 @@ func (co *coordinator) assignLocked(w *wstate) {
 		batch = append(batch, run)
 		w.outstanding[run.ID] = true
 		co.attemptStartSpanLocked(i)
+		// The dispatch span's wire identity rides along so the worker's run
+		// span parents under it — one trace across the fleet.
+		if tc := co.spans[i].Context(); tc.Valid() {
+			if tracectx == nil {
+				tracectx = map[string]string{}
+			}
+			tracectx[run.ID] = tc.String()
+		}
 		co.rc.JournalAttemptWorker(run.ID, savanna.PointKey(run), co.attempts[i],
 			resilience.AttemptDispatched, w.name, "", nil)
 		e.mDispatched.Inc()
@@ -631,11 +682,11 @@ func (co *coordinator) assignLocked(w *wstate) {
 		want--
 	}
 	if len(batch) > 0 {
-		go func(c *conn, name string, lease int64, runs []cheetah.Run) {
-			if err := c.send(OpAssign, name, lease, Assignment{Runs: runs}); err != nil {
+		go func(c *conn, name string, lease int64, a Assignment) {
+			if err := c.send(OpAssign, name, lease, a); err != nil {
 				co.workerDead(name, "assign failed: "+err.Error())
 			}
-		}(w.c, w.name, w.lease.ID, batch)
+		}(w.c, w.name, w.lease.ID, Assignment{Runs: batch, Trace: tracectx})
 		return
 	}
 	if len(w.outstanding) == 0 {

@@ -26,6 +26,8 @@ import (
 
 	"fairflow/internal/cheetah"
 	"fairflow/internal/stream"
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
 )
 
 // Protocol operation verbs (the control punctuation of the execution
@@ -53,6 +55,16 @@ const (
 	// OpDrain tells the worker the campaign is over (coordinator → worker);
 	// the worker finishes nothing further and closes cleanly.
 	OpDrain = "drain"
+	// OpHeartbeatAck echoes a heartbeat's send timestamp back (coordinator
+	// → worker): body HeartbeatAck. The worker measures heartbeat RTT from
+	// it — the clock-skew estimator's input.
+	OpHeartbeatAck = "heartbeat-ack"
+	// OpTelemetry ships a bounded batch of worker telemetry — finished
+	// spans, metric deltas, journal events — to the coordinator (worker →
+	// coordinator): body TelemetryBatch. Flushes piggyback on the heartbeat
+	// cadence; a final drain flush follows OpDrain, before the worker
+	// closes.
+	OpTelemetry = "telemetry"
 )
 
 // msgSchema is the one typed record layout of the execution plane.
@@ -89,6 +101,12 @@ type LeaseGrant struct {
 // Assignment is one batch of runs.
 type Assignment struct {
 	Runs []cheetah.Run `json:"runs"`
+	// Trace maps run id → the coordinator's dispatch span context
+	// (traceparent string, see telemetry.SpanContext), so the worker's run
+	// span parents under the span that dispatched it and the campaign stays
+	// one trace across processes. Absent when the coordinator traces
+	// nothing.
+	Trace map[string]string `json:"trace,omitempty"`
 }
 
 // Outcome is one run's terminal report from a worker.
@@ -113,6 +131,40 @@ type Outcome struct {
 type Heartbeat struct {
 	Queued   int `json:"queued"`
 	InFlight int `json:"in_flight"`
+	// SentUnixNano stamps the worker's clock at send time; with RTTNanos it
+	// feeds the coordinator's per-worker clock-skew estimate.
+	SentUnixNano int64 `json:"sent,omitempty"`
+	// RTTNanos is the worker's last measured heartbeat round trip (0 until
+	// the first OpHeartbeatAck arrives).
+	RTTNanos int64 `json:"rtt,omitempty"`
+}
+
+// HeartbeatAck returns a heartbeat's send timestamp to the worker, which
+// computes RTT as its current clock minus the echo (both ends of that
+// subtraction are the worker's own clock, so skew cancels).
+type HeartbeatAck struct {
+	EchoUnixNano int64 `json:"echo"`
+}
+
+// TelemetryBatch is one bounded shipment of a worker's telemetry. Spans
+// and events are capped per batch (maxTelemetryBatch); whatever the
+// worker's local buffers dropped before shipping is reported in the
+// Dropped counts so the loss is loud on the coordinator
+// (remote.telemetry_dropped_total), never silent.
+type TelemetryBatch struct {
+	Spans  []telemetry.SpanData `json:"spans,omitempty"`
+	Events []eventlog.Event     `json:"events,omitempty"`
+	// Metrics is the delta since the previous batch (counters and
+	// histograms as increments, gauges as levels); the coordinator folds it
+	// into its registry under a worker label.
+	Metrics       *telemetry.MetricsSnapshot `json:"metrics,omitempty"`
+	DroppedSpans  int64                      `json:"dropped_spans,omitempty"`
+	DroppedEvents int64                      `json:"dropped_events,omitempty"`
+	// SentUnixNano / RTTNanos mirror Heartbeat's skew-estimation fields, so
+	// span timestamps in this batch can be skew-adjusted with an estimate
+	// at least as fresh as the batch itself.
+	SentUnixNano int64 `json:"sent,omitempty"`
+	RTTNanos     int64 `json:"rtt,omitempty"`
 }
 
 // Steal asks a worker to give back up to N queued runs.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairflow/internal/cas"
@@ -50,14 +51,15 @@ type Worker struct {
 	Metrics *telemetry.Registry
 	Events  *eventlog.Log
 
-	telOnce   sync.Once
-	mExecuted *telemetry.Counter
-	mCached   *telemetry.Counter
-	mFailed   *telemetry.Counter
-	mStolen   *telemetry.Counter
-	gQueued   *telemetry.Gauge
-	gInFlight *telemetry.Gauge
-	hRunSecs  *telemetry.Histogram
+	telOnce    sync.Once
+	mExecuted  *telemetry.Counter
+	mCached    *telemetry.Counter
+	mFailed    *telemetry.Counter
+	mStolen    *telemetry.Counter
+	gQueued    *telemetry.Gauge
+	gInFlight  *telemetry.Gauge
+	hRunSecs   *telemetry.Histogram
+	hQueueWait *telemetry.Histogram
 }
 
 func (w *Worker) telemetryInit() {
@@ -69,6 +71,7 @@ func (w *Worker) telemetryInit() {
 		w.gQueued = w.Metrics.Gauge("remote_worker.queued")
 		w.gInFlight = w.Metrics.Gauge("remote_worker.in_flight")
 		w.hRunSecs = w.Metrics.Histogram("remote_worker.run_seconds", nil)
+		w.hQueueWait = w.Metrics.Histogram("remote_worker.queue_wait_seconds", nil)
 	})
 }
 
@@ -98,6 +101,16 @@ type wsession struct {
 	inFlight int
 	draining bool
 	readErr  error
+	// enqueued stamps each queued run's arrival (the queue-wait clock);
+	// trace holds each run's dispatch span context from the assignment.
+	// Entries leave at pop, steal, or drain.
+	enqueued map[string]time.Time
+	trace    map[string]telemetry.SpanContext
+
+	// ship drains local telemetry to the coordinator (nil = nothing to
+	// ship); lastRTT is the latest heartbeat round trip in nanoseconds.
+	ship    *shipper
+	lastRTT atomic.Int64
 
 	cancel context.CancelFunc
 }
@@ -166,8 +179,10 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	s := &wsession{w: w, c: c, name: name, cancel: cancel}
+	s := &wsession{w: w, c: c, name: name, cancel: cancel,
+		enqueued: map[string]time.Time{}, trace: map[string]telemetry.SpanContext{}}
 	s.cond = sync.NewCond(&s.mu)
+	s.ship = newShipper(w.Tracer, w.Metrics, w.Events)
 	runCtx, span := w.Tracer.Start(runCtx, "remote.worker",
 		telemetry.String("worker", name), telemetry.String("campaign", grant.Campaign))
 	defer span.End()
@@ -208,13 +223,18 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 
 	err = s.readLoop(lease)
+	if err == nil {
+		// Clean drain: journal the departure, close out the session span so
+		// it ships too, and flush the telemetry backlog while the connection
+		// is still up — cancel() below also closes it.
+		w.Events.Append(eventlog.Info, eventlog.WorkerLeave, grant.Campaign, span.ID(),
+			telemetry.String("worker", name))
+		span.End()
+		s.flush(lease, true)
+	}
 	cancel() // drain or disconnect: stop in-flight work
 	s.wake()
 	eg.Wait()
-	if err == nil {
-		w.Events.Append(eventlog.Info, eventlog.WorkerLeave, grant.Campaign, span.ID(),
-			telemetry.String("worker", name))
-	}
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
@@ -245,7 +265,14 @@ func (s *wsession) readLoop(lease int64) error {
 			if err != nil {
 				return err
 			}
+			now := time.Now()
 			s.mu.Lock()
+			for _, r := range a.Runs {
+				s.enqueued[r.ID] = now
+				if pc, perr := telemetry.ParseSpanContext(a.Trace[r.ID]); perr == nil {
+					s.trace[r.ID] = pc
+				}
+			}
 			s.queue = append(s.queue, a.Runs...)
 			s.w.gQueued.Set(float64(len(s.queue)))
 			s.cond.Broadcast()
@@ -256,10 +283,25 @@ func (s *wsession) readLoop(lease int64) error {
 				return err
 			}
 			s.relinquish(st.N, lease)
+		case OpHeartbeatAck:
+			a, err := decodeBody[HeartbeatAck](m)
+			if err != nil {
+				return err
+			}
+			// Both sides of the subtraction are this process's clock, so the
+			// round trip is skew-free. A negative value means the local clock
+			// stepped backwards mid-flight; discard it.
+			if a.EchoUnixNano != 0 {
+				if rtt := time.Now().UnixNano() - a.EchoUnixNano; rtt >= 0 {
+					s.lastRTT.Store(rtt)
+				}
+			}
 		case OpDrain:
 			s.mu.Lock()
 			s.draining = true
 			s.queue = nil
+			s.enqueued = map[string]time.Time{}
+			s.trace = map[string]telemetry.SpanContext{}
 			s.w.gQueued.Set(0)
 			s.cond.Broadcast()
 			s.mu.Unlock()
@@ -280,6 +322,8 @@ func (s *wsession) relinquish(n int, lease int64) {
 		cut := len(s.queue) - n
 		for _, r := range s.queue[cut:] {
 			ids = append(ids, r.ID)
+			delete(s.enqueued, r.ID)
+			delete(s.trace, r.ID)
 		}
 		s.queue = s.queue[:cut]
 		s.w.gQueued.Set(float64(len(s.queue)))
@@ -305,10 +349,40 @@ func (s *wsession) heartbeatLoop(period time.Duration, lease int64, stop <-chan 
 		case <-t.C:
 		}
 		s.mu.Lock()
-		hb := Heartbeat{Queued: len(s.queue), InFlight: s.inFlight}
+		hb := Heartbeat{Queued: len(s.queue), InFlight: s.inFlight,
+			SentUnixNano: time.Now().UnixNano(), RTTNanos: s.lastRTT.Load()}
 		s.mu.Unlock()
 		if err := s.c.send(OpHeartbeat, s.name, lease, hb); err != nil {
 			s.cancel()
+			return
+		}
+		// Telemetry flushes ride the heartbeat cadence: one bounded batch
+		// per tick, so shipping never competes with the result path for
+		// long.
+		s.flush(lease, false)
+	}
+}
+
+// flush ships pending telemetry batches: one on the heartbeat path, up to
+// maxDrainFlushes on drain. A send failure abandons the flush — telemetry
+// must never wedge the session, and the read loop notices a dead
+// connection on its own.
+func (s *wsession) flush(lease int64, drain bool) {
+	if s.ship == nil {
+		return
+	}
+	n := 1
+	if drain {
+		n = maxDrainFlushes
+	}
+	for i := 0; i < n; i++ {
+		b, ok := s.ship.next(maxTelemetryBatch)
+		if !ok {
+			return
+		}
+		b.SentUnixNano = time.Now().UnixNano()
+		b.RTTNanos = s.lastRTT.Load()
+		if s.c.send(OpTelemetry, s.name, lease, b) != nil {
 			return
 		}
 	}
@@ -329,11 +403,18 @@ func (s *wsession) executeLoop(ctx context.Context, memo *savanna.Memo, lease in
 		run := s.queue[0]
 		s.queue = s.queue[1:]
 		s.inFlight++
+		var wait time.Duration
+		if at, ok := s.enqueued[run.ID]; ok {
+			wait = time.Since(at)
+			delete(s.enqueued, run.ID)
+		}
+		parentCtx := s.trace[run.ID]
+		delete(s.trace, run.ID)
 		w.gQueued.Set(float64(len(s.queue)))
 		w.gInFlight.Add(1)
 		s.mu.Unlock()
 
-		out := s.execute(ctx, run, memo)
+		out := s.execute(ctx, run, memo, parentCtx, wait)
 
 		s.mu.Lock()
 		s.inFlight--
@@ -347,9 +428,14 @@ func (s *wsession) executeLoop(ctx context.Context, memo *savanna.Memo, lease in
 
 // execute runs one assignment locally: memo lookup, execution, memo record,
 // classification — the worker-side mirror of LocalEngine's attempt body.
-func (s *wsession) execute(ctx context.Context, run cheetah.Run, memo *savanna.Memo) Outcome {
+// parent is the coordinator dispatch span's wire identity (invalid when the
+// coordinator traces nothing), wait the run's local queue wait.
+func (s *wsession) execute(ctx context.Context, run cheetah.Run, memo *savanna.Memo, parent telemetry.SpanContext, wait time.Duration) Outcome {
 	w := s.w
-	_, span := w.Tracer.Start(ctx, "remote.worker.run", telemetry.String("run", run.ID))
+	ctx, span := w.Tracer.StartRemote(ctx, parent, "remote.worker.run",
+		telemetry.String("run", run.ID), telemetry.String("worker", s.name),
+		telemetry.Float("queue_wait_s", wait.Seconds()))
+	w.hQueueWait.Observe(wait.Seconds())
 	start := time.Now()
 	if memo != nil {
 		if res, ok := memo.Lookup(run); ok {

@@ -12,6 +12,7 @@ import (
 
 	"fairflow/internal/cheetah"
 	"fairflow/internal/resilience"
+	"fairflow/internal/telemetry"
 )
 
 // ProcessExecutor runs each campaign run as an operating-system process —
@@ -30,7 +31,9 @@ type ProcessExecutor struct {
 	// Timeout bounds each process (0 = no limit) — the per-run walltime.
 	Timeout time.Duration
 	// Env appends environment variables ("K=V") to the inherited set;
-	// sweep parameters are also exported as SWEEP_<NAME>.
+	// sweep parameters are also exported as SWEEP_<NAME>, and when the
+	// attempt context carries an active telemetry span its traceparent
+	// encoding is exported as TRACEPARENT.
 	Env []string
 }
 
@@ -112,6 +115,12 @@ func (p *ProcessExecutor) ExecuteContext(ctx context.Context, run cheetah.Run) e
 		env = append(env, "SWEEP_"+strings.ToUpper(k)+"="+v)
 	}
 	env = append(env, "RUN_ID="+run.ID)
+	// Export the active span's wire identity so instrumented applications
+	// can parent their own telemetry under this run — the trace chain
+	// follows the computation across the process boundary.
+	if sc := telemetry.SpanFromContext(ctx).Context(); sc.Valid() {
+		env = append(env, "TRACEPARENT="+sc.String())
+	}
 	cmd.Env = env
 
 	if err := cmd.Run(); err != nil {

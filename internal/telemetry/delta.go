@@ -1,0 +1,134 @@
+package telemetry
+
+import "math"
+
+// snapKey canonicalises a snapshot series (name + labels) the same way the
+// registry keys live instruments, so deltas and merges match series across
+// processes.
+func snapKey(name string, labels map[string]string) string {
+	flat := make([]string, 0, len(labels)*2)
+	for k, v := range labels {
+		flat = append(flat, k, v)
+	}
+	key, _ := instrumentKey(name, flat)
+	return key
+}
+
+// flatLabels rebuilds the alternating key/value list from a snapshot's
+// label map, appending extra pairs (the merge step's worker=<name>).
+func flatLabels(labels map[string]string, extra []string) []string {
+	flat := make([]string, 0, len(labels)*2+len(extra))
+	for k, v := range labels {
+		flat = append(flat, k, v)
+	}
+	return append(flat, extra...)
+}
+
+// DeltaSnapshot returns the change from prev to cur. Counters and
+// histograms subtract series-wise (a series absent from prev counts from
+// zero; one that shrank — a restarted process — re-baselines to its current
+// value); gauges pass through as absolute levels. Series with no change are
+// omitted, which keeps periodic wire batches proportional to activity, not
+// to registry size.
+func DeltaSnapshot(prev, cur MetricsSnapshot) MetricsSnapshot {
+	var out MetricsSnapshot
+
+	pc := make(map[string]int64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		pc[snapKey(c.Name, c.Labels)] = c.Value
+	}
+	for _, c := range cur.Counters {
+		d := c.Value - pc[snapKey(c.Name, c.Labels)]
+		if d < 0 {
+			d = c.Value
+		}
+		if d != 0 {
+			out.Counters = append(out.Counters, CounterSnap{Name: c.Name, Labels: c.Labels, Value: d})
+		}
+	}
+
+	pg := make(map[string]float64, len(prev.Gauges))
+	for _, g := range prev.Gauges {
+		pg[snapKey(g.Name, g.Labels)] = g.Value
+	}
+	for _, g := range cur.Gauges {
+		if v, ok := pg[snapKey(g.Name, g.Labels)]; !ok || v != g.Value {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+
+	ph := make(map[string]HistogramSnap, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		ph[snapKey(h.Name, h.Labels)] = h
+	}
+	for _, h := range cur.Histograms {
+		p := ph[snapKey(h.Name, h.Labels)]
+		if len(p.Counts) != len(h.Counts) || p.Count > h.Count {
+			p = HistogramSnap{Counts: make([]uint64, len(h.Counts))}
+		}
+		d := HistogramSnap{
+			Name: h.Name, Labels: h.Labels,
+			Bounds: h.Bounds,
+			Counts: make([]uint64, len(h.Counts)),
+			Inf:    h.Inf - p.Inf,
+			Sum:    h.Sum - p.Sum,
+			Count:  h.Count - p.Count,
+		}
+		for i := range h.Counts {
+			d.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		if d.Count > 0 {
+			out.Histograms = append(out.Histograms, d)
+		}
+	}
+	return out
+}
+
+// Merge folds a (delta) snapshot into the registry, appending extra label
+// pairs to every series — the coordinator files worker deltas under
+// worker=<name>. Counters add, gauges set (they are levels), histograms
+// bulk-add bucket counts into an instrument with the snapshot's bounds.
+// A nil registry swallows the merge.
+func (r *Registry) Merge(snap MetricsSnapshot, extraLabels ...string) {
+	if r == nil {
+		return
+	}
+	for _, c := range snap.Counters {
+		r.Counter(c.Name, flatLabels(c.Labels, extraLabels)...).Add(c.Value)
+	}
+	for _, g := range snap.Gauges {
+		r.Gauge(g.Name, flatLabels(g.Labels, extraLabels)...).Set(g.Value)
+	}
+	for _, h := range snap.Histograms {
+		r.Histogram(h.Name, h.Bounds, flatLabels(h.Labels, extraLabels)...).merge(h)
+	}
+}
+
+// merge bulk-adds a delta snapshot's buckets. A bucket-count mismatch
+// (the instrument pre-existed with different bounds) drops the sample —
+// mixing bucket layouts would corrupt both series.
+func (h *Histogram) merge(d HistogramSnap) {
+	if h == nil || len(h.counts) != len(d.Counts) {
+		return
+	}
+	for i, c := range d.Counts {
+		if c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if d.Inf > 0 {
+		h.inf.Add(d.Inf)
+	}
+	if d.Count > 0 {
+		h.count.Add(d.Count)
+	}
+	if d.Sum != 0 {
+		for {
+			old := h.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + d.Sum)
+			if h.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}

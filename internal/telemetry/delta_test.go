@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestDeltaSnapshotCountersGaugesOmitUnchanged(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("runs_total")
+	idle := reg.Counter("idle_total")
+	g := reg.Gauge("queued")
+	c.Add(3)
+	idle.Add(1)
+	g.Set(5)
+	prev := reg.Snapshot()
+
+	c.Add(2)
+	g.Set(4)
+	d := DeltaSnapshot(prev, reg.Snapshot())
+	if len(d.Counters) != 1 || d.Counters[0].Name != "runs_total" || d.Counters[0].Value != 2 {
+		t.Fatalf("counters = %+v, want only runs_total=2", d.Counters)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 4 {
+		t.Fatalf("gauges = %+v, want queued=4 absolute", d.Gauges)
+	}
+
+	// No change at all → empty delta.
+	cur := reg.Snapshot()
+	if e := DeltaSnapshot(cur, cur); len(e.Counters)+len(e.Gauges)+len(e.Histograms) != 0 {
+		t.Fatalf("self-delta not empty: %+v", e)
+	}
+}
+
+func TestDeltaSnapshotRebaselinesOnShrink(t *testing.T) {
+	// A counter smaller than prev means the process restarted: count from
+	// its current value rather than emitting garbage negatives.
+	reg := NewRegistry()
+	reg.Counter("x").Add(10)
+	prev := reg.Snapshot()
+
+	fresh := NewRegistry()
+	fresh.Counter("x").Add(4)
+	d := DeltaSnapshot(prev, fresh.Snapshot())
+	if len(d.Counters) != 1 || d.Counters[0].Value != 4 {
+		t.Fatalf("restart delta = %+v, want x=4", d.Counters)
+	}
+
+	// Same for histograms: prev.Count > cur.Count re-baselines to zero.
+	regH := NewRegistry()
+	h := regH.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	prevH := regH.Snapshot()
+	freshH := NewRegistry()
+	freshH.Histogram("lat", []float64{1, 2}).Observe(0.5)
+	dh := DeltaSnapshot(prevH, freshH.Snapshot())
+	if len(dh.Histograms) != 1 || dh.Histograms[0].Count != 1 || dh.Histograms[0].Counts[0] != 1 {
+		t.Fatalf("histogram restart delta = %+v", dh.Histograms)
+	}
+}
+
+func TestDeltaSnapshotHistogramSubtracts(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	prev := reg.Snapshot()
+	h.Observe(0.7)
+	h.Observe(100) // +Inf bucket
+	d := DeltaSnapshot(prev, reg.Snapshot())
+	if len(d.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", d.Histograms)
+	}
+	hs := d.Histograms[0]
+	if hs.Count != 2 || hs.Counts[0] != 1 || hs.Inf != 1 {
+		t.Fatalf("delta = %+v, want count=2 counts[0]=1 inf=1", hs)
+	}
+	if hs.Sum < 100.6 || hs.Sum > 100.8 {
+		t.Fatalf("delta sum = %v, want ≈100.7", hs.Sum)
+	}
+}
+
+func TestRegistryMergeAppliesWorkerLabel(t *testing.T) {
+	// Worker-side delta...
+	wreg := NewRegistry()
+	wreg.Counter("runs_total", "kind", "exec").Add(5)
+	wreg.Gauge("queued").Set(2)
+	wh := wreg.Histogram("lat", []float64{1, 2})
+	wh.Observe(0.5)
+	wh.Observe(1.5)
+	delta := DeltaSnapshot(MetricsSnapshot{}, wreg.Snapshot())
+
+	// ...folds into the coordinator registry under worker=<name>.
+	co := NewRegistry()
+	co.Merge(delta, "worker", "w1")
+	co.Merge(delta, "worker", "w1") // second batch adds, not replaces
+	if got := co.Counter("runs_total", "kind", "exec", "worker", "w1").Value(); got != 10 {
+		t.Fatalf("merged counter = %d, want 10", got)
+	}
+	if got := co.Gauge("queued", "worker", "w1").Value(); got != 2 {
+		t.Fatalf("merged gauge = %v, want 2 (set, not added)", got)
+	}
+	snap := co.Snapshot()
+	var found bool
+	for _, h := range snap.Histograms {
+		if h.Name == "lat" && h.Labels["worker"] == "w1" {
+			found = true
+			if h.Count != 4 || h.Counts[0] != 2 || h.Counts[1] != 2 {
+				t.Fatalf("merged histogram = %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged histogram series missing")
+	}
+
+	// A bounds clash drops the sample instead of corrupting the series.
+	clash := NewRegistry()
+	clash.Histogram("lat", []float64{1, 2, 3, 4}, "worker", "w1").Observe(0.5)
+	pre := clash.Snapshot().Histograms[0].Count
+	clash.Merge(delta, "worker", "w1")
+	if got := clash.Snapshot().Histograms[0].Count; got != pre {
+		t.Fatalf("bounds-mismatched merge mutated the series: %d → %d", pre, got)
+	}
+
+	var nilReg *Registry
+	nilReg.Merge(delta, "worker", "w1") // must not panic
+}

@@ -302,16 +302,30 @@ func (l *Log) Append(lv Level, typ, msg string, span int64, attrs ...telemetry.A
 	if !l.Enabled(lv) {
 		return 0
 	}
+	return l.file(Event{Level: lv, Type: typ, Msg: msg, Span: span, Attrs: attrs})
+}
+
+// Ingest journals an event produced by another process — a worker record
+// merged into the coordinator's log. It keeps the event's time, level,
+// type, message, span correlation and attributes but assigns a fresh
+// sequence number in this log; level gating, ring bounds, metrics and
+// subscriber notification apply exactly as for Append.
+func (l *Log) Ingest(ev Event) int64 {
+	if !l.Enabled(ev.Level) {
+		return 0
+	}
+	return l.file(ev)
+}
+
+// file assigns the event a sequence number (and a timestamp when it has
+// none), inserts it into the ring and notifies subscribers outside the
+// lock.
+func (l *Log) file(ev Event) int64 {
 	l.mu.Lock()
 	l.nextSeq++
-	ev := Event{
-		Seq:   l.nextSeq,
-		Time:  l.nowLocked(),
-		Level: lv,
-		Type:  typ,
-		Msg:   msg,
-		Span:  span,
-		Attrs: attrs,
+	ev.Seq = l.nextSeq
+	if ev.Time.IsZero() {
+		ev.Time = l.nowLocked()
 	}
 	overwrote := false
 	if l.count < len(l.buf) {

@@ -303,3 +303,91 @@ func TestDumpRoundTripAndCompat(t *testing.T) {
 		t.Errorf("old dump misparsed: %d events, %d spans", len(d2.Events), len(d2.Spans))
 	}
 }
+
+// TestRingWraparoundConcurrent hammers a tiny ring from many goroutines so
+// wraparound happens continuously under contention, then checks the ring's
+// suffix invariant: exactly capacity events kept, they are the NEWEST ones
+// (a contiguous run of the highest sequence numbers), and every overwrite
+// was counted.
+func TestRingWraparoundConcurrent(t *testing.T) {
+	const cap, goroutines, each = 16, 8, 500
+	l := NewLog()
+	l.SetCapacity(cap)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Append(Info, "tick", "", int64(g), telemetry.Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * each)
+	if l.Len() != cap {
+		t.Fatalf("Len = %d, want the full ring %d", l.Len(), cap)
+	}
+	if got := l.Dropped(); got != total-cap {
+		t.Fatalf("dropped = %d, want %d", got, total-cap)
+	}
+	evs := l.Snapshot()
+	for i, ev := range evs {
+		if want := total - int64(cap) + int64(i) + 1; ev.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (the newest suffix, contiguous)", i, ev.Seq, want)
+		}
+	}
+	// The polling cursor agrees with the ring: everything before the suffix
+	// is gone, everything inside it is reachable.
+	if got := l.Since(total - cap); len(got) != cap {
+		t.Fatalf("Since(start of suffix) = %d events, want %d", len(got), cap)
+	}
+	if got := l.Since(total); len(got) != 0 {
+		t.Fatalf("Since(latest) = %d events, want 0", len(got))
+	}
+}
+
+// TestIngestMergesForeignEvents covers the worker-record merge path: Ingest
+// keeps the foreign event's payload and timestamp but re-sequences it in
+// this log, gates on level, and feeds metrics/subscribers like Append.
+func TestIngestMergesForeignEvents(t *testing.T) {
+	l := NewLog()
+	reg := telemetry.NewRegistry()
+	l.SetMetrics(reg)
+	var notified []Event
+	l.Subscribe(func(ev Event) { notified = append(notified, ev) })
+
+	stamp := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	seq := l.Ingest(Event{Seq: 99, Time: stamp, Level: Warn, Type: RunFailed, Msg: "boom",
+		Span: 42, Attrs: []telemetry.Attr{telemetry.String("worker", "w1")}})
+	if seq != 1 {
+		t.Fatalf("ingested seq = %d, want a fresh local 1 (not the foreign 99)", seq)
+	}
+	if got := l.Ingest(Event{Level: Debug, Type: "noise"}); got != 0 {
+		t.Fatalf("below-min-level ingest filed as seq %d", got)
+	}
+
+	evs := l.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	ev := evs[0]
+	if !ev.Time.Equal(stamp) {
+		t.Fatalf("ingest restamped time: %v", ev.Time)
+	}
+	if ev.Span != 42 || ev.Msg != "boom" || ev.Attr("worker") != "w1" {
+		t.Fatalf("payload mangled: %+v", ev)
+	}
+	// An ingested event with no timestamp gets the local clock.
+	l.Ingest(Event{Level: Info, Type: "bare"})
+	if got := l.Snapshot()[1]; got.Time.IsZero() {
+		t.Fatal("zero-time ingest not stamped")
+	}
+	if got := reg.Counter("telemetry.events_total").Value(); got != 2 {
+		t.Fatalf("events_total = %d, want 2", got)
+	}
+	if len(notified) != 2 {
+		t.Fatalf("subscribers saw %d events, want 2", len(notified))
+	}
+}

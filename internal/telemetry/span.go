@@ -45,8 +45,13 @@ func Float(k string, v float64) Attr {
 
 // SpanData is the immutable record of a finished span.
 type SpanData struct {
-	ID     int64     `json:"id"`
-	Parent int64     `json:"parent,omitempty"` // 0 = root
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"` // 0 = root
+	// Remote names a parent span in another process, as a traceparent
+	// string (see SpanContext). It is set by StartRemote and consumed by
+	// the coordinator's merge step, which resolves it to a local Parent id;
+	// exporters ignore it.
+	Remote string    `json:"remote,omitempty"`
 	Name   string    `json:"name"`
 	Start  time.Time `json:"start"`
 	End    time.Time `json:"end"`
@@ -76,13 +81,17 @@ type Span struct {
 	ended  bool
 }
 
-// Annotate appends attributes to the span.
+// Annotate appends attributes to the span. After End it is a no-op: the
+// record was already filed, so a late append would mutate only a local copy
+// and silently vanish from every export.
 func (s *Span) Annotate(attrs ...Attr) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	s.data.Attrs = append(s.data.Attrs, attrs...)
+	if !s.ended {
+		s.data.Attrs = append(s.data.Attrs, attrs...)
+	}
 	s.mu.Unlock()
 }
 
@@ -144,6 +153,7 @@ type Tracer struct {
 
 	nextID  atomic.Int64
 	mu      sync.Mutex
+	traceID TraceID
 	spans   []SpanData
 	open    int64
 	dropped int64

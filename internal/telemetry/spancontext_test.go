@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.Start(context.Background(), "op")
+	sc := s.Context()
+	if !sc.Valid() {
+		t.Fatalf("context of live span invalid: %+v", sc)
+	}
+	enc := sc.String()
+	if len(enc) != 55 || !strings.HasPrefix(enc, "00-") || !strings.HasSuffix(enc, "-01") {
+		t.Fatalf("encoding %q not traceparent-shaped", enc)
+	}
+	got, err := ParseSpanContext(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseSpanContextErrors(t *testing.T) {
+	valid := SpanContext{Trace: NewTraceID(), Span: 7}.String()
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],       // truncated
+		valid + "0",      // too long
+		"01" + valid[2:], // unknown version
+		"00-" + strings.Repeat("0", 32) + valid[35:], // zero trace id
+		valid[:36] + "0000000000000000" + valid[52:], // zero span id
+		strings.Replace(valid, valid[3:4], "z", 1),   // non-hex trace
+	}
+	for _, s := range bad {
+		if _, err := ParseSpanContext(s); err == nil {
+			t.Errorf("ParseSpanContext(%q) accepted", s)
+		}
+	}
+	// The zero context encodes to "" and a nil span's context is invalid.
+	if got := (SpanContext{}).String(); got != "" {
+		t.Errorf("zero context encodes to %q, want empty", got)
+	}
+	if (*Span)(nil).Context().Valid() {
+		t.Error("nil span's context is valid")
+	}
+}
+
+func TestTracerTraceIDStableAndSettable(t *testing.T) {
+	tr := NewTracer()
+	id := tr.TraceID()
+	if id.IsZero() {
+		t.Fatal("TraceID minted zero")
+	}
+	if again := tr.TraceID(); again != id {
+		t.Fatalf("TraceID not stable: %s then %s", id, again)
+	}
+	other := NewTraceID()
+	tr.SetTraceID(other)
+	if got := tr.TraceID(); got != other {
+		t.Fatalf("SetTraceID: got %s, want %s", got, other)
+	}
+	tr.SetTraceID(TraceID{}) // ignored
+	if got := tr.TraceID(); got != other {
+		t.Fatal("zero SetTraceID overwrote the id")
+	}
+	if (*Tracer)(nil).TraceID() != (TraceID{}) {
+		t.Fatal("nil tracer minted a trace id")
+	}
+}
+
+func TestStartRemoteRecordsForeignParent(t *testing.T) {
+	parentTr := NewTracer()
+	_, dispatch := parentTr.Start(context.Background(), "dispatch")
+	pc := dispatch.Context()
+
+	tr := NewTracer()
+	ctx, s := tr.StartRemote(context.Background(), pc, "work", String("k", "v"))
+	if SpanFromContext(ctx) != s {
+		t.Fatal("StartRemote did not install the span in ctx")
+	}
+	s.End()
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	d := spans[0]
+	if d.Parent != 0 {
+		t.Fatalf("local Parent = %d, want 0 (parent lives elsewhere)", d.Parent)
+	}
+	if d.Remote != pc.String() {
+		t.Fatalf("Remote = %q, want %q", d.Remote, pc.String())
+	}
+	if d.Attr("k") != "v" {
+		t.Fatal("attrs lost")
+	}
+	if tr.Open() != 0 {
+		t.Fatalf("open = %d after End", tr.Open())
+	}
+
+	// An invalid parent degrades to a plain local root span.
+	_, s2 := tr.StartRemote(context.Background(), SpanContext{}, "rooted")
+	s2.End()
+	if d := tr.Snapshot()[1]; d.Remote != "" || d.Parent != 0 {
+		t.Fatalf("invalid parent: got Remote=%q Parent=%d, want a plain root", d.Remote, d.Parent)
+	}
+}
+
+func TestIngestAllocIDAndSnapshotSince(t *testing.T) {
+	tr := NewTracer()
+	tr.SetCapacity(3)
+	id := tr.AllocID()
+	if id == 0 {
+		t.Fatal("AllocID returned 0")
+	}
+	tr.Ingest(SpanData{ID: id, Name: "foreign"})
+	tr.Ingest(SpanData{ID: 0, Name: "dropped"}) // id 0 never enters the buffer
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Name != "foreign" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if tr.Open() != 0 {
+		t.Fatal("Ingest touched the open count")
+	}
+
+	tr.Ingest(SpanData{ID: tr.AllocID(), Name: "b"})
+	tr.Ingest(SpanData{ID: tr.AllocID(), Name: "c"})
+	tr.Ingest(SpanData{ID: tr.AllocID(), Name: "over"}) // beyond cap: dropped, counted
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+
+	if got := tr.SnapshotSince(1); len(got) != 2 || got[0].Name != "b" {
+		t.Fatalf("SnapshotSince(1) = %+v", got)
+	}
+	if got := tr.SnapshotSince(3); got != nil {
+		t.Fatalf("SnapshotSince(len) = %+v, want nil", got)
+	}
+	if got := tr.SnapshotSince(-5); len(got) != 3 {
+		t.Fatalf("SnapshotSince(-5) = %d spans, want all 3", len(got))
+	}
+	var nilT *Tracer
+	if nilT.AllocID() != 0 || nilT.SnapshotSince(0) != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	nilT.Ingest(SpanData{ID: 1})
+}
+
+// TestAnnotateAfterEndIsNoop pins the satellite fix: attributes appended
+// after End must not appear anywhere — before the fix they mutated a local
+// copy and silently vanished from every export; now the append itself is
+// skipped.
+func TestAnnotateAfterEndIsNoop(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.Start(context.Background(), "op")
+	s.Annotate(String("before", "yes"))
+	s.End()
+	s.Annotate(String("after", "lost"))
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Attr("before") != "yes" {
+		t.Fatal("pre-End annotation missing")
+	}
+	if spans[0].Attr("after") != "" {
+		t.Fatal("post-End annotation leaked into the record")
+	}
+	for _, a := range s.data.Attrs {
+		if a.Key == "after" {
+			t.Fatal("post-End annotation mutated the span's local copy")
+		}
+	}
+}
