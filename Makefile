@@ -9,7 +9,7 @@ GO ?= go
 # is gated by its machine-independent same-run ratio instead, and the
 # workflow's paste cost is gated through the CPU-bound PasteColumnar pair.
 # Both still land in BENCH_PR6.json for the record.
-GATE_BENCH = GWASPasteWorkflow|CASIngest|SimReplay|PasteColumnar|HashFile|RemoteCampaignScaling
+GATE_BENCH = GWASPasteWorkflow|CASIngest|SimReplay|PasteColumnar|HashFile|RemoteCampaignScaling|SelfTelemetryOverhead
 GATE_DIFF  = SimReplay|PasteColumnar|HashFile
 # Allowed fractional slowdown before the gate fails (0.25 = 25%).
 BENCH_TOLERANCE ?= 0.25
@@ -55,7 +55,9 @@ bench-json:
 # device scheduling noise), the columnar fast path ~0.55-0.65× the line
 # kernel. Step and StepBatch share the cohort heap, so their gap is small
 # (~0.8-1.0×); that ratio is a gross-breakage tripwire, while the absolute
-# diff above is what holds the replay ceiling itself.
+# diff above is what holds the replay ceiling itself. The history sampler
+# pair measures ~1.0-1.1× (sampling barely dents the hot path); its 1.5×
+# ceiling trips if registry snapshots ever start contending with writers.
 bench-gate:
 	$(GO) test -run=NONE -bench='$(GATE_BENCH)' -benchmem -benchtime=1x -count=5 ./... | $(GO) run ./cmd/benchjson -o BENCH_GATE.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -current BENCH_GATE.json \
@@ -63,7 +65,8 @@ bench-gate:
 		-ratio 'BenchmarkCASIngest/parallel4<=0.85*BenchmarkCASIngest/sequential' \
 		-ratio 'BenchmarkSimReplay/batch<=1.1*BenchmarkSimReplay/step' \
 		-ratio 'BenchmarkPasteColumnar/fast<=0.85*BenchmarkPasteColumnar/kernel' \
-		-ratio 'BenchmarkRemoteCampaignScaling/workers4<=0.4*BenchmarkRemoteCampaignScaling/workers1'
+		-ratio 'BenchmarkRemoteCampaignScaling/workers4<=0.4*BenchmarkRemoteCampaignScaling/workers1' \
+		-ratio 'BenchmarkSelfTelemetryOverhead/sampling-on<=1.5*BenchmarkSelfTelemetryOverhead/sampling-off'
 
 # Regenerate every paper figure at full scale into results.md.
 experiments:

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fairflow/internal/analyze"
+)
+
+// analyzeCmd implements "fairctl analyze": critical-path forensics over a
+// telemetry dump — where the campaign's wall time actually went.
+func analyzeCmd(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file := fs.String("f", "", "telemetry dump JSON (as written by savanna -telemetry or gwaspaste -telemetry)")
+	top := fs.Int("top", 5, "straggler list length")
+	format := fs.String("format", "text", "output format: text or json")
+	minCoverage := fs.Float64("min-coverage", 0, "fail (exit 3) unless the critical path is non-empty and its attributed time covers at least this fraction of the campaign wall time")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *file == "" {
+		fatal(fmt.Errorf("analyze needs -f"))
+	}
+
+	dump := readDump(*file)
+	rep, err := analyze.Analyze(dump.Spans, *top)
+	if err != nil {
+		fatal(err)
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(dst)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	case "text":
+		writeAnalysisText(dst, rep)
+	default:
+		fatal(fmt.Errorf("analyze: unknown format %q (want text or json)", *format))
+	}
+
+	if *minCoverage > 0 {
+		if len(rep.Path) == 0 || rep.Coverage < *minCoverage {
+			fmt.Fprintf(os.Stderr, "fairctl: analyze gate FAILED — %d path segment(s), coverage %.3f < %.3f\n",
+				len(rep.Path), rep.Coverage, *minCoverage)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "fairctl: analyze gate ok — %d path segment(s), coverage %.3f ≥ %.3f\n",
+			len(rep.Path), rep.Coverage, *minCoverage)
+	}
+}
+
+func writeAnalysisText(w io.Writer, rep *analyze.Report) {
+	name := rep.Campaign
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "campaign %s: %.3fs wall, %d spans, critical path %d segments (coverage %.1f%%)\n",
+		name, rep.WallSeconds, rep.Spans, len(rep.Path), rep.Coverage*100)
+	a := rep.Attribution
+	fmt.Fprintf(w, "where the time went:\n")
+	fmt.Fprintf(w, "  exec        %9.3fs  (%4.1f%%)\n", a.ExecSeconds, pct(a.ExecSeconds, rep.WallSeconds))
+	fmt.Fprintf(w, "  queue-wait  %9.3fs  (%4.1f%%)\n", a.QueueWaitSeconds, pct(a.QueueWaitSeconds, rep.WallSeconds))
+	fmt.Fprintf(w, "  retry       %9.3fs  (%4.1f%%)\n", a.RetrySeconds, pct(a.RetrySeconds, rep.WallSeconds))
+	fmt.Fprintf(w, "  overhead    %9.3fs  (%4.1f%%)\n", a.OverheadSeconds, pct(a.OverheadSeconds, rep.WallSeconds))
+
+	fmt.Fprintf(w, "critical path:\n")
+	for _, seg := range rep.Path {
+		label := seg.Name
+		if seg.Run != "" {
+			label += " run=" + seg.Run
+		}
+		if seg.Worker != "" {
+			label += " worker=" + seg.Worker
+		}
+		fmt.Fprintf(w, "  %-11s %9.3fs  %s\n", seg.Category, seg.Seconds, label)
+	}
+
+	if len(rep.Stragglers) > 0 {
+		fmt.Fprintf(w, "slowest runs:\n")
+		for _, s := range rep.Stragglers {
+			mark := " "
+			if s.OnCriticalPath {
+				mark = "*"
+			}
+			line := fmt.Sprintf("%s %-20s %8.3fs", mark, s.Run, s.Seconds)
+			if s.Worker != "" {
+				line += fmt.Sprintf("  worker=%s", s.Worker)
+			}
+			if s.CPUSeconds > 0 {
+				line += fmt.Sprintf("  cpu=%.3fs", s.CPUSeconds)
+			}
+			if s.MaxRSSBytes > 0 {
+				line += fmt.Sprintf("  rss=%s", sizeString(s.MaxRSSBytes))
+			}
+			if s.QueueWaitSeconds > 0 {
+				line += fmt.Sprintf("  wait=%.3fs", s.QueueWaitSeconds)
+			}
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+		fmt.Fprintf(w, "  (* = on the critical path)\n")
+	}
+
+	if len(rep.Workers) > 0 {
+		fmt.Fprintf(w, "worker utilization:\n")
+		for _, u := range rep.Workers {
+			fmt.Fprintf(w, "  %-16s %3d runs  busy %8.3fs  util %5.1f%%\n",
+				u.Worker, u.Runs, u.BusySeconds, u.Utilization*100)
+		}
+	}
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return part / whole * 100
+}
+
+func sizeString(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

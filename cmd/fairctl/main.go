@@ -27,6 +27,14 @@
 //	                                  -require-workers N verifies a merged fleet
 //	                                  trace (no orphaned parents, worker run spans
 //	                                  from ≥N workers under coordinator dispatch)
+//	fairctl analyze -f dump.json [-top K] [-format text|json] [-min-coverage 0.9] [-o report.json]
+//	                                  critical-path forensics over a telemetry
+//	                                  dump: where the campaign's wall time went
+//	                                  (exec / queue-wait / retry / overhead),
+//	                                  the slowest runs with their CPU and
+//	                                  peak-RSS profiles, and per-worker
+//	                                  utilization; -min-coverage gates (exit 3)
+//	                                  on the path tiling the campaign
 //	fairctl watch [-addr host:port | -dir campaignDir] [-interval 2s] [campaign]
 //	                                  poll a live campaign (the engine's
 //	                                  /health.json endpoint, or a materialised
@@ -145,6 +153,8 @@ func main() {
 			fatal(fmt.Errorf("trace needs -f"))
 		}
 		traceCmd(*file, *out, fs.Arg(0), *requireWorkers)
+	case "analyze":
+		analyzeCmd(os.Args[2:])
 	case "watch":
 		watchCmd(os.Args[2:])
 	case "health":
@@ -365,7 +375,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|watch|health|resume|worker> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|analyze|watch|health|resume|worker> [flags]")
 	os.Exit(2)
 }
 

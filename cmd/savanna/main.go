@@ -47,6 +47,7 @@ import (
 	"fairflow/internal/savanna"
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
+	"fairflow/internal/telemetry/history"
 )
 
 func main() {
@@ -177,14 +178,21 @@ func runRemote(o remoteOpts, prov *provenance.Store, campaign string, todo []che
 	log := eventlog.NewLog()
 	metrics := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer()
+	// The history ring backs rate() rules with true sliding windows and
+	// serves /series.json for after-the-fact throughput plots.
+	ring := history.New(metrics, 0)
+	stopSampling := ring.Start(2 * time.Second)
+	defer stopSampling()
 	mon := monitor.New(monitor.Config{
 		Campaign:  campaign,
 		TotalRuns: len(todo),
 		Rules:     []monitor.Rule{monitor.DeadWorkerRule()},
+		History:   ring,
 	}, metrics, log)
 	if o.monitorAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/health.json", mon.Handler())
+		mux.Handle("/series.json", ring.Handler())
 		go http.ListenAndServe(o.monitorAddr, mux)
 	}
 	fmt.Printf("savanna: coordinating on %s — join with: fairctl worker -connect %s -- <cmd> {param}...\n",

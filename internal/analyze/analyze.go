@@ -1,0 +1,358 @@
+// Package analyze answers "where did the time go?" for a finished campaign.
+// It consumes a span dump — a live tracer snapshot or a telemetry dump file —
+// rebuilds the campaign tree, and computes the trace's critical path: the
+// single chain of spans that determined the campaign's wall time. Every
+// second of the campaign is attributed to a category (queue-wait, exec,
+// retry, overhead), so the attribution sums to the campaign duration by
+// construction; stragglers and per-worker utilization round out the report.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"fairflow/internal/telemetry"
+)
+
+// Categories a critical-path segment can be attributed to.
+const (
+	// CategoryExec is time inside a run's executor (the science).
+	CategoryExec = "exec"
+	// CategoryQueueWait is time a dispatched run waited before executing —
+	// sitting in a worker's queue behind other runs.
+	CategoryQueueWait = "queue-wait"
+	// CategoryRetry is backoff waits and re-dispatch gaps between a run's
+	// attempts.
+	CategoryRetry = "retry"
+	// CategoryOverhead is everything else: coordination, result handling,
+	// memoization, span bookkeeping.
+	CategoryOverhead = "overhead"
+)
+
+// Segment is one stretch of the critical path, attributed to the span whose
+// self time covered it.
+type Segment struct {
+	SpanID   int64     `json:"span"`
+	Name     string    `json:"name"`
+	Run      string    `json:"run,omitempty"`
+	Worker   string    `json:"worker,omitempty"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Seconds  float64   `json:"seconds"`
+	Category string    `json:"category"`
+}
+
+// Attribution buckets the campaign's wall time by category. The four fields
+// sum to the campaign duration (within float rounding) because the critical
+// path tiles the campaign span end to end.
+type Attribution struct {
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	ExecSeconds      float64 `json:"exec_seconds"`
+	RetrySeconds     float64 `json:"retry_seconds"`
+	OverheadSeconds  float64 `json:"overhead_seconds"`
+}
+
+// Total is the attributed time across all categories.
+func (a Attribution) Total() float64 {
+	return a.QueueWaitSeconds + a.ExecSeconds + a.RetrySeconds + a.OverheadSeconds
+}
+
+// Straggler is one of the campaign's slowest runs, with its resource profile
+// joined from the run span's annotations.
+type Straggler struct {
+	Run              string  `json:"run"`
+	Worker           string  `json:"worker,omitempty"`
+	Seconds          float64 `json:"seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	CPUSeconds       float64 `json:"cpu_seconds,omitempty"`
+	MaxRSSBytes      int64   `json:"max_rss_bytes,omitempty"`
+	Attempts         int     `json:"attempts,omitempty"`
+	Status           string  `json:"status,omitempty"`
+	// OnCriticalPath marks a straggler whose span contributed a segment to
+	// the critical path — shortening it would have shortened the campaign.
+	OnCriticalPath bool `json:"on_critical_path,omitempty"`
+}
+
+// WorkerUtil is one worker's busy-time rollup over the campaign.
+type WorkerUtil struct {
+	Worker string `json:"worker"`
+	Runs   int    `json:"runs"`
+	// BusySeconds sums the worker's run-span durations (exec, not queue).
+	BusySeconds float64 `json:"busy_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds,omitempty"`
+	// Utilization is BusySeconds over the campaign wall time. With multiple
+	// slots a worker can exceed 1.0.
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the full forensics result.
+type Report struct {
+	Campaign    string  `json:"campaign,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Spans       int     `json:"spans"`
+	// Path is the critical path, oldest segment first.
+	Path        []Segment   `json:"path"`
+	Attribution Attribution `json:"attribution"`
+	// Coverage is Attribution.Total() / WallSeconds — 1.0 when the path
+	// tiles the campaign exactly (always, modulo clock skew between
+	// processes).
+	Coverage   float64      `json:"coverage"`
+	Stragglers []Straggler  `json:"stragglers,omitempty"`
+	Workers    []WorkerUtil `json:"workers,omitempty"`
+}
+
+// execSpan reports whether the span is a run executing (not dispatch
+// bookkeeping around it).
+func execSpan(name string) bool {
+	return name == "remote.worker.run" || name == "savanna.run"
+}
+
+// campaignSpan reports whether the span roots a campaign trace.
+func campaignSpan(name string) bool {
+	return name == "remote.campaign" || name == "savanna.campaign"
+}
+
+// Analyze builds the forensics report from a span dump. topK bounds the
+// straggler list (≤ 0 means 5).
+func Analyze(spans []telemetry.SpanData, topK int) (*Report, error) {
+	if topK <= 0 {
+		topK = 5
+	}
+	// Keep only finished, positive-duration spans: an unfinished span has no
+	// end to walk back from, and zero-length spans cannot carry path time.
+	finished := make([]telemetry.SpanData, 0, len(spans))
+	for _, s := range spans {
+		if !s.End.IsZero() && s.End.After(s.Start) {
+			finished = append(finished, s)
+		}
+	}
+	if len(finished) == 0 {
+		return nil, fmt.Errorf("analyze: no finished spans in dump")
+	}
+
+	// Root: the longest campaign span; failing that, the longest parentless
+	// span (a trace from a bare engine without a campaign wrapper).
+	var root *telemetry.SpanData
+	for i := range finished {
+		s := &finished[i]
+		if campaignSpan(s.Name) && (root == nil || s.Duration() > root.Duration()) {
+			root = s
+		}
+	}
+	if root == nil {
+		for i := range finished {
+			s := &finished[i]
+			if s.Parent == 0 && (root == nil || s.Duration() > root.Duration()) {
+				root = s
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("analyze: no campaign or root span in dump")
+	}
+
+	children := map[int64][]*telemetry.SpanData{}
+	for i := range finished {
+		s := &finished[i]
+		if s.ID == root.ID {
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	}
+
+	w := &walker{children: children}
+	w.walk(root, root.Start, root.End)
+	// Segments were emitted newest-first; present the path oldest-first.
+	for i, j := 0, len(w.path)-1; i < j; i, j = i+1, j-1 {
+		w.path[i], w.path[j] = w.path[j], w.path[i]
+	}
+
+	rep := &Report{
+		Campaign:    root.Attr("campaign"),
+		WallSeconds: root.Duration().Seconds(),
+		Spans:       len(finished),
+		Path:        w.path,
+	}
+	onPath := map[int64]bool{}
+	for _, seg := range w.path {
+		onPath[seg.SpanID] = true
+		switch seg.Category {
+		case CategoryExec:
+			rep.Attribution.ExecSeconds += seg.Seconds
+		case CategoryQueueWait:
+			rep.Attribution.QueueWaitSeconds += seg.Seconds
+		case CategoryRetry:
+			rep.Attribution.RetrySeconds += seg.Seconds
+		default:
+			rep.Attribution.OverheadSeconds += seg.Seconds
+		}
+	}
+	if rep.WallSeconds > 0 {
+		rep.Coverage = rep.Attribution.Total() / rep.WallSeconds
+	}
+
+	rep.Stragglers = stragglers(finished, onPath, topK)
+	rep.Workers = workerUtil(finished, rep.WallSeconds)
+	return rep, nil
+}
+
+// walker carries the critical-path recursion state.
+type walker struct {
+	children map[int64][]*telemetry.SpanData
+	path     []Segment
+}
+
+// walk attributes the window [lo, hi] of span s, emitting segments
+// newest-first. The child that finished last before the cursor is the one
+// the campaign was waiting on — recurse into it; the uncovered remainder is
+// s's self time.
+func (w *walker) walk(s *telemetry.SpanData, lo, hi time.Time) {
+	const eps = time.Nanosecond
+	cursor := hi
+	kids := w.children[s.ID]
+	for cursor.Sub(lo) >= eps {
+		// Pick the child whose in-window end is latest: the last dependency
+		// to clear before the work at cursor could proceed.
+		var pick *telemetry.SpanData
+		var pickEnd time.Time
+		for _, c := range kids {
+			ce := c.End
+			if ce.After(cursor) {
+				ce = cursor
+			}
+			if !c.Start.Before(cursor) || ce.Sub(lo) < eps {
+				continue
+			}
+			if pick == nil || ce.After(pickEnd) {
+				pick, pickEnd = c, ce
+			}
+		}
+		if pick == nil {
+			w.emitSelf(s, lo, cursor, kids)
+			return
+		}
+		if cursor.Sub(pickEnd) >= eps {
+			w.emitSelf(s, pickEnd, cursor, kids)
+		}
+		childLo := pick.Start
+		if childLo.Before(lo) {
+			childLo = lo
+		}
+		w.walk(pick, childLo, pickEnd)
+		cursor = childLo
+	}
+}
+
+// emitSelf records [a, b] as self time of span s and classifies it.
+func (w *walker) emitSelf(s *telemetry.SpanData, a, b time.Time, kids []*telemetry.SpanData) {
+	seg := Segment{
+		SpanID:  s.ID,
+		Name:    s.Name,
+		Run:     s.Attr("run"),
+		Worker:  s.Attr("worker"),
+		Start:   a,
+		End:     b,
+		Seconds: b.Sub(a).Seconds(),
+	}
+	seg.Category = classify(s, a, b, kids)
+	w.path = append(w.path, seg)
+}
+
+// classify maps a self segment of span s over [a, b] to a category.
+func classify(s *telemetry.SpanData, a, b time.Time, kids []*telemetry.SpanData) string {
+	switch {
+	case execSpan(s.Name):
+		return CategoryExec
+	case s.Name == "savanna.retry_wait":
+		return CategoryRetry
+	case s.Name == "remote.run":
+		// A dispatch span's own time is the run NOT executing. Before any
+		// child attempt ran it is queue wait; between attempts it is the
+		// re-dispatch gap (the distributed analogue of backoff); after the
+		// last attempt it is result-processing overhead.
+		childBefore, childAfter := false, false
+		for _, c := range kids {
+			if !c.Start.After(a) {
+				childBefore = true
+			}
+			if !c.End.Before(b) {
+				childAfter = true
+			}
+		}
+		switch {
+		case !childBefore:
+			return CategoryQueueWait
+		case childAfter:
+			return CategoryRetry
+		default:
+			return CategoryOverhead
+		}
+	default:
+		return CategoryOverhead
+	}
+}
+
+// stragglers ranks exec spans by duration and joins their cost annotations.
+func stragglers(spans []telemetry.SpanData, onPath map[int64]bool, topK int) []Straggler {
+	var out []Straggler
+	for _, s := range spans {
+		if !execSpan(s.Name) || s.Attr("run") == "" {
+			continue
+		}
+		st := Straggler{
+			Run:            s.Attr("run"),
+			Worker:         s.Attr("worker"),
+			Seconds:        s.Duration().Seconds(),
+			Status:         s.Attr("status"),
+			OnCriticalPath: onPath[s.ID],
+		}
+		st.QueueWaitSeconds, _ = strconv.ParseFloat(s.Attr("queue_wait_s"), 64)
+		st.CPUSeconds, _ = strconv.ParseFloat(s.Attr("cpu_s"), 64)
+		st.MaxRSSBytes, _ = strconv.ParseInt(s.Attr("max_rss_bytes"), 10, 64)
+		st.Attempts, _ = strconv.Atoi(s.Attr("attempts"))
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// workerUtil rolls exec spans up per worker.
+func workerUtil(spans []telemetry.SpanData, wall float64) []WorkerUtil {
+	byWorker := map[string]*WorkerUtil{}
+	for _, s := range spans {
+		if !execSpan(s.Name) {
+			continue
+		}
+		name := s.Attr("worker")
+		if name == "" {
+			name = "local"
+		}
+		u := byWorker[name]
+		if u == nil {
+			u = &WorkerUtil{Worker: name}
+			byWorker[name] = u
+		}
+		u.Runs++
+		u.BusySeconds += s.Duration().Seconds()
+		if cpu, err := strconv.ParseFloat(s.Attr("cpu_s"), 64); err == nil {
+			u.CPUSeconds += cpu
+		}
+	}
+	out := make([]WorkerUtil, 0, len(byWorker))
+	for _, u := range byWorker {
+		if wall > 0 {
+			u.Utilization = u.BusySeconds / wall
+		}
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}

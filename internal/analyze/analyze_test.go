@@ -1,0 +1,187 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+)
+
+var epoch = time.Unix(1_700_000_000, 0)
+
+func at(s float64) time.Time {
+	return epoch.Add(time.Duration(s * float64(time.Second)))
+}
+
+func span(id, parent int64, name string, start, end float64, attrs ...telemetry.Attr) telemetry.SpanData {
+	return telemetry.SpanData{ID: id, Parent: parent, Name: name, Start: at(start), End: at(end), Attrs: attrs}
+}
+
+// fleetTrace builds a miniature two-worker campaign:
+//
+//	remote.campaign [0,10]
+//	├── remote.run r1 [0.1,6]  └── remote.worker.run w1 [1,5.5]
+//	└── remote.run r2 [0.2,10] └── remote.worker.run w2 [3,10]
+func fleetTrace() []telemetry.SpanData {
+	return []telemetry.SpanData{
+		span(1, 0, "remote.campaign", 0, 10, telemetry.String("campaign", "demo")),
+		span(2, 1, "remote.run", 0.1, 6, telemetry.String("run", "r1")),
+		span(3, 2, "remote.worker.run", 1, 5.5,
+			telemetry.String("run", "r1"), telemetry.String("worker", "w1"),
+			telemetry.Float("queue_wait_s", 0.9), telemetry.Float("cpu_s", 4.2),
+			telemetry.Int("max_rss_bytes", 1<<20)),
+		span(4, 1, "remote.run", 0.2, 10, telemetry.String("run", "r2")),
+		span(5, 4, "remote.worker.run", 3, 10,
+			telemetry.String("run", "r2"), telemetry.String("worker", "w2"),
+			telemetry.Float("queue_wait_s", 2.8), telemetry.Float("cpu_s", 6.5),
+			telemetry.Int("max_rss_bytes", 2<<20)),
+	}
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	rep, err := Analyze(fleetTrace(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaign != "demo" {
+		t.Errorf("campaign = %q, want demo", rep.Campaign)
+	}
+	if math.Abs(rep.WallSeconds-10) > 1e-9 {
+		t.Errorf("wall = %v, want 10", rep.WallSeconds)
+	}
+	if len(rep.Path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The path must tile the campaign: contiguous segments, oldest first,
+	// spanning exactly [start, end] of the root.
+	if !rep.Path[0].Start.Equal(at(0)) || !rep.Path[len(rep.Path)-1].End.Equal(at(10)) {
+		t.Errorf("path spans [%v, %v], want [0s, 10s]",
+			rep.Path[0].Start.Sub(epoch), rep.Path[len(rep.Path)-1].End.Sub(epoch))
+	}
+	for i := 1; i < len(rep.Path); i++ {
+		if !rep.Path[i].Start.Equal(rep.Path[i-1].End) {
+			t.Errorf("path gap between segment %d (ends %v) and %d (starts %v)",
+				i-1, rep.Path[i-1].End.Sub(epoch), i, rep.Path[i].Start.Sub(epoch))
+		}
+	}
+	if math.Abs(rep.Coverage-1.0) > 1e-9 {
+		t.Errorf("coverage = %v, want 1.0", rep.Coverage)
+	}
+	// The long pole is r2: 7s exec on w2, 2.8s queue wait before it, plus
+	// r1's 0.1s queue wait and the campaign's 0.1s setup overhead.
+	a := rep.Attribution
+	if math.Abs(a.ExecSeconds-7.0) > 1e-9 {
+		t.Errorf("exec = %v, want 7.0", a.ExecSeconds)
+	}
+	if math.Abs(a.QueueWaitSeconds-2.9) > 1e-9 {
+		t.Errorf("queue-wait = %v, want 2.9", a.QueueWaitSeconds)
+	}
+	if math.Abs(a.Total()-rep.WallSeconds) > 1e-9 {
+		t.Errorf("attribution total %v != wall %v", a.Total(), rep.WallSeconds)
+	}
+}
+
+func TestAnalyzeStragglersAndWorkers(t *testing.T) {
+	rep, err := Analyze(fleetTrace(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %d, want 1 (topK)", len(rep.Stragglers))
+	}
+	s := rep.Stragglers[0]
+	if s.Run != "r2" || s.Worker != "w2" {
+		t.Errorf("top straggler = %s on %s, want r2 on w2", s.Run, s.Worker)
+	}
+	if math.Abs(s.CPUSeconds-6.5) > 1e-9 || s.MaxRSSBytes != 2<<20 {
+		t.Errorf("straggler resources cpu=%v rss=%d, want 6.5 / %d", s.CPUSeconds, s.MaxRSSBytes, 2<<20)
+	}
+	if !s.OnCriticalPath {
+		t.Error("r2 should be on the critical path")
+	}
+
+	if len(rep.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(rep.Workers))
+	}
+	w1, w2 := rep.Workers[0], rep.Workers[1]
+	if w1.Worker != "w1" || w2.Worker != "w2" {
+		t.Fatalf("worker order %s, %s", w1.Worker, w2.Worker)
+	}
+	if math.Abs(w1.BusySeconds-4.5) > 1e-9 || math.Abs(w1.Utilization-0.45) > 1e-9 {
+		t.Errorf("w1 busy=%v util=%v, want 4.5 / 0.45", w1.BusySeconds, w1.Utilization)
+	}
+	if w2.Runs != 1 || math.Abs(w2.CPUSeconds-6.5) > 1e-9 {
+		t.Errorf("w2 runs=%d cpu=%v", w2.Runs, w2.CPUSeconds)
+	}
+}
+
+func TestAnalyzeRetryAttribution(t *testing.T) {
+	// A local campaign where the single run spends 2s in backoff between
+	// attempts: savanna.retry_wait must surface as retry time, and the
+	// re-dispatch gap inside remote.run (none here) stays zero.
+	spans := []telemetry.SpanData{
+		span(1, 0, "savanna.campaign", 0, 10, telemetry.String("campaign", "local")),
+		span(2, 1, "savanna.run", 0, 10, telemetry.String("run", "r1")),
+		span(3, 2, "savanna.retry_wait", 4, 6, telemetry.String("run", "r1")),
+	}
+	rep, err := Analyze(spans, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Attribution
+	if math.Abs(a.RetrySeconds-2.0) > 1e-9 {
+		t.Errorf("retry = %v, want 2.0", a.RetrySeconds)
+	}
+	if math.Abs(a.ExecSeconds-8.0) > 1e-9 {
+		t.Errorf("exec = %v, want 8.0 (run self time around the backoff)", a.ExecSeconds)
+	}
+	if math.Abs(a.Total()-10.0) > 1e-9 {
+		t.Errorf("total = %v, want 10", a.Total())
+	}
+}
+
+func TestAnalyzeReDispatchGapIsRetry(t *testing.T) {
+	// Two worker attempts under one dispatch span with a gap between them:
+	// the gap is the distributed retry wait.
+	spans := []telemetry.SpanData{
+		span(1, 0, "remote.campaign", 0, 10, telemetry.String("campaign", "demo")),
+		span(2, 1, "remote.run", 0, 10, telemetry.String("run", "r1")),
+		span(3, 2, "remote.worker.run", 1, 3, telemetry.String("run", "r1"), telemetry.String("worker", "w1")),
+		span(4, 2, "remote.worker.run", 6, 10, telemetry.String("run", "r1"), telemetry.String("worker", "w2")),
+	}
+	rep, err := Analyze(spans, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Attribution
+	if math.Abs(a.QueueWaitSeconds-1.0) > 1e-9 {
+		t.Errorf("queue-wait = %v, want 1.0 (before the first attempt)", a.QueueWaitSeconds)
+	}
+	if math.Abs(a.RetrySeconds-3.0) > 1e-9 {
+		t.Errorf("retry = %v, want 3.0 (the re-dispatch gap)", a.RetrySeconds)
+	}
+	if math.Abs(a.ExecSeconds-6.0) > 1e-9 {
+		t.Errorf("exec = %v, want 6.0", a.ExecSeconds)
+	}
+}
+
+func TestAnalyzeSkipsUnfinishedSpans(t *testing.T) {
+	spans := []telemetry.SpanData{
+		span(1, 0, "remote.campaign", 0, 10),
+		{ID: 2, Parent: 1, Name: "remote.run", Start: at(1)}, // never ended
+	}
+	rep, err := Analyze(spans, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != 1 {
+		t.Errorf("spans = %d, want 1 (unfinished dropped)", rep.Spans)
+	}
+}
+
+func TestAnalyzeEmptyDump(t *testing.T) {
+	if _, err := Analyze(nil, 5); err == nil {
+		t.Fatal("want error on empty dump")
+	}
+}

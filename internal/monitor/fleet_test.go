@@ -102,3 +102,86 @@ func TestWorkerOriginEventsNotDoubleCounted(t *testing.T) {
 		t.Fatalf("failed = %d, want 0 (worker-origin failure skipped)", h.Failed)
 	}
 }
+
+// TestFleetRollupSingleBucketWorker: a degenerate fleet whose every
+// observation lands in one bucket still summarises sanely through the full
+// rollup — quantiles interpolate inside that bucket, never outside it.
+func TestFleetRollupSingleBucketWorker(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bounds := []float64{1, 10}
+	ex := reg.Histogram(fleetExecMetric, bounds, "worker", "w1")
+	for i := 0; i < 5; i++ {
+		ex.Observe(0.5)
+	}
+	m := New(Config{Campaign: "c"}, reg, eventlog.NewLog())
+	h := m.Health()
+	if h.Fleet == nil || h.Fleet.Exec == nil {
+		t.Fatalf("fleet = %+v, want exec rollup", h.Fleet)
+	}
+	e := h.Fleet.Exec
+	if e.Count != 5 || math.Abs(e.MeanSeconds-0.5) > 1e-9 {
+		t.Fatalf("exec = %+v, want count 5 mean 0.5", e)
+	}
+	if e.P50Seconds <= 0 || e.P50Seconds > 1 || e.P95Seconds <= 0 || e.P95Seconds > 1 {
+		t.Fatalf("quantiles p50=%v p95=%v escaped the only occupied bucket (0,1]", e.P50Seconds, e.P95Seconds)
+	}
+	if h.Fleet.QueueWait != nil {
+		t.Fatalf("queue wait = %+v, want nil (no series)", h.Fleet.QueueWait)
+	}
+}
+
+// TestFleetRollupAllInOverflow: observations entirely past the last bound
+// clamp quantiles to that bound — the rollup never invents resolution the
+// buckets don't have, while the mean still reports the true magnitude.
+func TestFleetRollupAllInOverflow(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bounds := []float64{1, 10}
+	ex := reg.Histogram(fleetExecMetric, bounds, "worker", "w1")
+	for i := 0; i < 4; i++ {
+		ex.Observe(100)
+	}
+	m := New(Config{Campaign: "c"}, reg, eventlog.NewLog())
+	h := m.Health()
+	if h.Fleet == nil || h.Fleet.Exec == nil {
+		t.Fatalf("fleet = %+v", h.Fleet)
+	}
+	e := h.Fleet.Exec
+	if e.P50Seconds != 10 || e.P95Seconds != 10 {
+		t.Fatalf("overflow quantiles p50=%v p95=%v, want clamped to 10", e.P50Seconds, e.P95Seconds)
+	}
+	if math.Abs(e.MeanSeconds-100) > 1e-9 {
+		t.Fatalf("mean = %v, want 100 (sum is exact even when buckets saturate)", e.MeanSeconds)
+	}
+}
+
+// TestFleetRollupSkipsEmptyAndMismatchedSeries: a registered-but-unobserved
+// worker series must not pin the bucket layout or dilute the sum, and a
+// series whose layout disagrees with the first seen is skipped rather than
+// added nonsensically.
+func TestFleetRollupSkipsEmptyAndMismatchedSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Histogram(fleetExecMetric, []float64{1, 10}, "worker", "idle") // never observed
+	busy := reg.Histogram(fleetExecMetric, []float64{1, 10}, "worker", "busy")
+	for i := 0; i < 4; i++ {
+		busy.Observe(0.5)
+	}
+	odd := reg.Histogram(fleetExecMetric, []float64{5}, "worker", "odd") // mismatched layout
+	for i := 0; i < 4; i++ {
+		odd.Observe(0.5)
+	}
+	m := New(Config{Campaign: "c"}, reg, eventlog.NewLog())
+	h := m.Health()
+	if h.Fleet == nil || h.Fleet.Exec == nil {
+		t.Fatalf("fleet = %+v", h.Fleet)
+	}
+	if h.Fleet.Exec.Count != 4 {
+		t.Fatalf("count = %d, want 4 (exactly one layout's series folded)", h.Fleet.Exec.Count)
+	}
+	// All-empty series alone must yield no rollup at all.
+	reg2 := telemetry.NewRegistry()
+	reg2.Histogram(fleetExecMetric, []float64{1}, "worker", "w")
+	m2 := New(Config{Campaign: "c"}, reg2, eventlog.NewLog())
+	if h2 := m2.Health(); h2.Fleet != nil {
+		t.Fatalf("fleet = %+v, want nil for unobserved series", h2.Fleet)
+	}
+}

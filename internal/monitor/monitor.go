@@ -23,6 +23,7 @@ import (
 
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
+	"fairflow/internal/telemetry/history"
 )
 
 // Config shapes a Monitor.
@@ -47,6 +48,13 @@ type Config struct {
 	Clock telemetry.Clock
 	// Rules are user-defined alert predicates evaluated on every Health call.
 	Rules []Rule
+	// History, when set, backs rate() rules with true sliding-window rates
+	// over the ring's samples instead of deltas between consecutive Health
+	// evaluations (whose spacing is whatever the caller's poll loop does).
+	History *history.Ring
+	// RateWindow is the sliding window for History-backed rate() rules.
+	// Default 30s.
+	RateWindow time.Duration
 }
 
 // Straggler is a running run whose elapsed time dwarfs its completed
@@ -231,6 +239,14 @@ func (m *Monitor) now() time.Time {
 		return m.cfg.Clock.Now()
 	}
 	return m.log.Now()
+}
+
+// rateWindow is the sliding window for History-backed rate() rules.
+func (m *Monitor) rateWindow() time.Duration {
+	if m.cfg.RateWindow > 0 {
+		return m.cfg.RateWindow
+	}
+	return 30 * time.Second
 }
 
 // unitID extracts the work-unit identifier from an event — savanna runs

@@ -9,6 +9,7 @@ import (
 
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
+	"fairflow/internal/telemetry/history"
 )
 
 // simClock is a settable virtual clock shared by a test's log and monitor.
@@ -386,5 +387,58 @@ func TestRenderTextSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRateRuleUsesHistoryWindow: with a history ring configured, rate()
+// rules read a true sliding-window rate — computable on the very first
+// Health call (no between-eval base needed) and decaying as the burst
+// leaves the window, independent of when Health happened to be called.
+func TestRateRuleUsesHistoryWindow(t *testing.T) {
+	clk := newSimClock()
+	log := eventlog.NewLog()
+	log.SetClock(clk)
+	reg := telemetry.NewRegistry()
+	failures := reg.Counter("savanna.runs_failed_total")
+	ring := history.New(reg, 0)
+	ring.SetClock(clk)
+	m := New(Config{
+		Rules: []Rule{
+			{Name: "burst", Metric: "savanna.runs_failed_total", Predicate: Above, Threshold: 0.5, Rate: true},
+		},
+		History:    ring,
+		RateWindow: 30 * time.Second,
+	}, reg, log)
+
+	burst := func(h CampaignHealth) AlertState {
+		for _, a := range h.Alerts {
+			if a.Alert == "burst" {
+				return a
+			}
+		}
+		t.Fatal("burst alert missing")
+		return AlertState{}
+	}
+
+	ring.Sample() // t=0, 0 failures
+	clk.advance(10 * time.Second)
+	failures.Add(8)
+	ring.Sample() // t=10, 8 failures
+
+	// First Health call: the between-eval estimator would have no base yet,
+	// but the ring already holds the burst → 0.8/s, firing.
+	h := m.Health()
+	if a := burst(h); !a.Firing || a.Value != 0.8 {
+		t.Fatalf("first eval with history: %+v, want firing at 0.8", a)
+	}
+
+	// 30 quiet seconds roll the burst out of the window → rate 0, resolved.
+	for i := 0; i < 3; i++ {
+		clk.advance(10 * time.Second)
+		ring.Sample()
+	}
+	h = m.Health()
+	if a := burst(h); a.Firing || a.Value != 0 {
+		t.Fatalf("after quiet window: %+v, want resolved at 0", a)
 	}
 }

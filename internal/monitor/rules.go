@@ -2,9 +2,11 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
 
 	"fairflow/internal/telemetry"
 )
@@ -89,10 +91,22 @@ func ParseRule(s string) (Rule, error) {
 	if r.Metric == "" {
 		return Rule{}, fmt.Errorf("monitor: rule %q: empty metric", s)
 	}
+	if strings.IndexFunc(r.Metric, unicode.IsSpace) >= 0 {
+		// "rate (x)" or "savanna runs" is a typo, and a metric name with
+		// interior whitespace can never match a registered instrument —
+		// reject it here instead of silently never firing.
+		return Rule{}, fmt.Errorf("monitor: rule %q: metric %q contains whitespace", s, r.Metric)
+	}
 
 	th, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
 	if err != nil {
 		return Rule{}, fmt.Errorf("monitor: rule %q: bad threshold: %v", s, err)
+	}
+	if math.IsNaN(th) || math.IsInf(th, 0) {
+		// ParseFloat happily accepts "NaN" and "+Inf", but a NaN threshold
+		// makes every comparison false and an infinite one makes the rule
+		// dead weight — both are configuration mistakes.
+		return Rule{}, fmt.Errorf("monitor: rule %q: threshold must be a finite number, got %q", s, strings.TrimSpace(num))
 	}
 	r.Threshold = th
 	return r, nil
@@ -195,6 +209,15 @@ func (m *Monitor) evalRuleLocked(r Rule, snap telemetry.MetricsSnapshot, now tim
 			return 0, false
 		}
 		return level / m.dumpRateSpan, true
+	}
+	if m.cfg.History != nil {
+		// A history ring gives a true sliding-window rate: the delta between
+		// the window's endpoints, not whatever happened to elapse between two
+		// Health calls. Fall through to the between-eval estimate only while
+		// the ring has too few samples to answer.
+		if rate, ok := m.cfg.History.RateOver(r.Metric, m.rateWindow()); ok {
+			return rate, true
+		}
 	}
 	prev := m.rateLast[r.Metric]
 	m.rateLast[r.Metric] = level

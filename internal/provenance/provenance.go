@@ -64,6 +64,24 @@ type Record struct {
 
 	// Annotations are free-form tagged facts with per-tag sensitivity.
 	Annotations []Annotation `json:"annotations,omitempty"`
+
+	// Resources is the execution's measured cost, digest-adjacent: two runs
+	// with identical inputs but wildly different CPU or memory footprints are
+	// a reproducibility signal worth recording. Nil when nothing was measured
+	// (cached, skipped, or a platform without rusage).
+	Resources *Resources `json:"resources,omitempty"`
+}
+
+// Resources is the kernel-accounted cost of one component execution.
+type Resources struct {
+	CPUUserSeconds   float64 `json:"cpu_user_seconds,omitempty"`
+	CPUSystemSeconds float64 `json:"cpu_system_seconds,omitempty"`
+	MaxRSSBytes      int64   `json:"max_rss_bytes,omitempty"`
+}
+
+// CPUSeconds is the total CPU time, user plus system.
+func (r Resources) CPUSeconds() float64 {
+	return r.CPUUserSeconds + r.CPUSystemSeconds
 }
 
 // Annotation is one tagged provenance fact.

@@ -83,6 +83,8 @@ type Engine struct {
 	gLive        *telemetry.Gauge
 	gDead        *telemetry.Gauge
 	hRunSecs     *telemetry.Histogram
+	hCPUSecs     *telemetry.Histogram
+	hMaxRSS      *telemetry.Histogram
 
 	// Fleet-telemetry instruments: heartbeat round trips (the skew
 	// estimator's input), merged telemetry batches and spans, and telemetry
@@ -112,6 +114,8 @@ func (e *Engine) telemetryInit() {
 		e.gLive = e.Metrics.Gauge("remote.workers_live")
 		e.gDead = e.Metrics.Gauge("remote.workers_dead")
 		e.hRunSecs = e.Metrics.Histogram("remote.run_seconds", nil)
+		e.hCPUSecs = e.Metrics.Histogram("remote.run_cpu_seconds", nil)
+		e.hMaxRSS = e.Metrics.Histogram("remote.run_max_rss_bytes", savanna.RSSBuckets)
 		e.hHeartbeatRTT = e.Metrics.Histogram("remote.heartbeat_rtt_seconds", nil)
 		e.mTelemetryBatches = e.Metrics.Counter("remote.telemetry_batches_total")
 		e.mWorkerSpans = e.Metrics.Counter("remote.telemetry_spans_total")
@@ -206,6 +210,10 @@ type coordinator struct {
 	terminal  []bool
 	attempts  []int
 	spans     []*telemetry.Span
+	// usage accumulates each run's reported resource cost across dispatches:
+	// CPU seconds sum over attempts (a retried run's first attempt still
+	// burned its cycles), peak RSS takes the max.
+	usage []savanna.ResourceUsage
 	workers   map[string]*wstate
 	died      map[string]bool
 	remaining int
@@ -255,6 +263,7 @@ func (e *Engine) RunCampaign(ctx context.Context, campaign string, runs []cheeta
 		terminal: make([]bool, len(runs)),
 		attempts: make([]int, len(runs)),
 		spans:    make([]*telemetry.Span, len(runs)),
+		usage:    make([]savanna.ResourceUsage, len(runs)),
 		workers:  map[string]*wstate{},
 		died:     map[string]bool{},
 		doneCh:   make(chan struct{}),
@@ -785,6 +794,7 @@ func (co *coordinator) handleResult(w *wstate, out Outcome) {
 	}
 	run := co.runs[i]
 	point := savanna.PointKey(run)
+	co.usage[i].Accumulate(outcomeUsage(out))
 	if out.OK {
 		var res cas.ActionResult
 		if len(out.Outputs) > 0 {
@@ -801,8 +811,9 @@ func (co *coordinator) handleResult(w *wstate, out Outcome) {
 				resilience.AttemptSuccess, w.name, "", nil)
 			co.rc.Quarantine().NoteSuccess(point)
 			co.setStatus(run, cheetah.RunSucceeded)
+			usage := co.usage[i]
 			e.appendProvenance(co.campaign, run, provenance.StatusSucceeded,
-				time.Duration(out.Seconds*float64(time.Second)), res, false)
+				time.Duration(out.Seconds*float64(time.Second)), res, false, usage)
 			co.results[i] = savanna.RunResult{
 				Run: run, Status: provenance.StatusSucceeded,
 				Seconds: out.Seconds, Attempts: co.attempts[i],
@@ -814,6 +825,7 @@ func (co *coordinator) handleResult(w *wstate, out Outcome) {
 			}
 			e.mCompleted.Inc()
 			e.hRunSecs.Observe(out.Seconds)
+			co.noteResourcesLocked(i, run.ID, w.name, usage)
 			co.endSpanLocked(i, "succeeded", false)
 			e.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", co.spanID(i),
 				telemetry.String("run", run.ID), telemetry.String("worker", w.name))
@@ -852,7 +864,8 @@ func (co *coordinator) handleResult(w *wstate, out Outcome) {
 		return
 	}
 	co.setStatus(run, cheetah.RunFailed)
-	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	usage := co.usage[i]
+	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false, usage)
 	co.results[i] = savanna.RunResult{
 		Run: run, Status: provenance.StatusFailed, Err: out.Err,
 		Seconds: out.Seconds, Attempts: co.attempts[i],
@@ -863,6 +876,7 @@ func (co *coordinator) handleResult(w *wstate, out Outcome) {
 		co.noteAbortLocked()
 	}
 	e.mFailed.Inc()
+	co.noteResourcesLocked(i, run.ID, w.name, usage)
 	co.endSpanLocked(i, "failed", false)
 	e.Events.Append(eventlog.Error, eventlog.RunFailed, out.Err, co.spanID(i),
 		telemetry.String("run", run.ID), telemetry.String("worker", w.name),
@@ -881,7 +895,7 @@ func (co *coordinator) finishCachedLocked(i int, worker string, res cas.ActionRe
 	co.rc.NoteOutcome(resilience.OutcomeCached)
 	co.setStatus(run, cheetah.RunSucceeded)
 	e.appendProvenance(co.campaign, run, provenance.StatusSucceeded,
-		time.Duration(seconds*float64(time.Second)), res, true)
+		time.Duration(seconds*float64(time.Second)), res, true, savanna.ResourceUsage{})
 	co.results[i] = savanna.RunResult{
 		Run: run, Status: provenance.StatusSucceeded, Seconds: seconds, Cached: true,
 	}
@@ -909,7 +923,7 @@ func (co *coordinator) quarantineLocked(i int, worker string, attempts int, caus
 	co.rc.JournalAttemptWorker(run.ID, point, attempts,
 		resilience.AttemptQuarantined, worker, resilience.Classify(cause), cause)
 	co.setStatus(run, cheetah.RunFailed)
-	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	e.appendProvenance(co.campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false, co.usage[i])
 	co.results[i] = savanna.RunResult{
 		Run: run, Status: provenance.StatusFailed, Err: msg,
 		Attempts: attempts, Quarantined: true,
@@ -931,7 +945,7 @@ func (co *coordinator) skipLocked(i int) {
 	run := co.runs[i]
 	co.rc.JournalAttempt(run.ID, savanna.PointKey(run), 0, resilience.AttemptSkipped, "", nil)
 	co.rc.NoteOutcome(resilience.OutcomeSkipped)
-	co.e.appendProvenance(co.campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false)
+	co.e.appendProvenance(co.campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false, savanna.ResourceUsage{})
 	co.results[i] = savanna.RunResult{Run: run, Status: provenance.StatusSkipped}
 	co.terminal[i] = true
 	co.remaining--
@@ -969,6 +983,35 @@ func (co *coordinator) endSpanLocked(i int, status string, cached bool) {
 		telemetry.Int("attempts", co.attempts[i]))
 }
 
+// outcomeUsage lifts a wire outcome's resource fields into the shared type.
+func outcomeUsage(out Outcome) savanna.ResourceUsage {
+	return savanna.ResourceUsage{
+		CPUUserSeconds:   out.CPUUserSeconds,
+		CPUSystemSeconds: out.CPUSystemSeconds,
+		MaxRSSBytes:      out.MaxRSSBytes,
+	}
+}
+
+// noteResourcesLocked surfaces a settling run's accumulated cost on the
+// coordinator side: dispatch-span annotations, the fleet cost histograms and
+// a run.resources event. Call before endSpanLocked.
+func (co *coordinator) noteResourcesLocked(i int, runID, worker string, usage savanna.ResourceUsage) {
+	if usage.Zero() {
+		return
+	}
+	if co.spans[i] == nil {
+		co.attemptStartSpanLocked(i)
+	}
+	co.spans[i].Annotate(telemetry.Float("cpu_s", usage.CPUSeconds()),
+		telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+	co.e.hCPUSecs.Observe(usage.CPUSeconds())
+	co.e.hMaxRSS.Observe(float64(usage.MaxRSSBytes))
+	co.e.Events.Append(eventlog.Info, eventlog.RunResources, "", co.spanID(i),
+		telemetry.String("run", runID), telemetry.String("worker", worker),
+		telemetry.Float("cpu_s", usage.CPUSeconds()),
+		telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+}
+
 // setStatus mirrors the run's terminal state into the campaign directory.
 func (co *coordinator) setStatus(run cheetah.Run, st cheetah.RunStatus) {
 	if co.e.CampaignDir != "" {
@@ -979,7 +1022,7 @@ func (co *coordinator) setStatus(run cheetah.Run, st cheetah.RunStatus) {
 // appendProvenance mirrors savanna.LocalEngine's record shape so a remote
 // campaign's provenance is indistinguishable from a local one (same
 // component, same digest fields, same cached annotation).
-func (e *Engine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool) {
+func (e *Engine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool, usage savanna.ResourceUsage) {
 	if e.Prov == nil {
 		return
 	}
@@ -999,6 +1042,13 @@ func (e *Engine) appendProvenance(campaign string, run cheetah.Run, status prove
 		rec.Annotations = append(rec.Annotations, provenance.Annotation{
 			Key: "cached", Value: "true", Sensitivity: provenance.Public,
 		})
+	}
+	if !usage.Zero() {
+		rec.Resources = &provenance.Resources{
+			CPUUserSeconds:   usage.CPUUserSeconds,
+			CPUSystemSeconds: usage.CPUSystemSeconds,
+			MaxRSSBytes:      usage.MaxRSSBytes,
+		}
 	}
 	e.Prov.Append(rec)
 }

@@ -124,6 +124,12 @@ type Outcome struct {
 	// pushed into the worker's CAS — the coordinator materializes from its
 	// own store view; bytes never ride the control connection.
 	Outputs map[string]string `json:"outputs,omitempty"`
+	// CPUUserSeconds/CPUSystemSeconds/MaxRSSBytes carry the run's kernel
+	// resource accounting (summed across worker-side attempts, peak RSS in
+	// bytes) so the coordinator sees fleet-wide cost, not just wall time.
+	CPUUserSeconds   float64 `json:"cpu_user_s,omitempty"`
+	CPUSystemSeconds float64 `json:"cpu_sys_s,omitempty"`
+	MaxRSSBytes      int64   `json:"max_rss,omitempty"`
 }
 
 // Heartbeat renews a lease and reports queue occupancy (the coordinator's

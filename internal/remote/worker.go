@@ -60,6 +60,8 @@ type Worker struct {
 	gInFlight  *telemetry.Gauge
 	hRunSecs   *telemetry.Histogram
 	hQueueWait *telemetry.Histogram
+	hCPUSecs   *telemetry.Histogram
+	hMaxRSS    *telemetry.Histogram
 }
 
 func (w *Worker) telemetryInit() {
@@ -72,6 +74,8 @@ func (w *Worker) telemetryInit() {
 		w.gInFlight = w.Metrics.Gauge("remote_worker.in_flight")
 		w.hRunSecs = w.Metrics.Histogram("remote_worker.run_seconds", nil)
 		w.hQueueWait = w.Metrics.Histogram("remote_worker.queue_wait_seconds", nil)
+		w.hCPUSecs = w.Metrics.Histogram("remote_worker.run_cpu_seconds", nil)
+		w.hMaxRSS = w.Metrics.Histogram("remote_worker.run_max_rss_bytes", savanna.RSSBuckets)
 	})
 }
 
@@ -449,6 +453,11 @@ func (s *wsession) execute(ctx context.Context, run cheetah.Run, memo *savanna.M
 	}
 	w.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(),
 		telemetry.String("run", run.ID), telemetry.String("worker", s.name))
+	// Measure what the run costs, not just how long it takes: the executor
+	// accumulates rusage into the sink, the span and histograms surface it
+	// locally, and the Outcome ships it to the coordinator.
+	var usage savanna.ResourceUsage
+	ctx = savanna.WithResourceSink(ctx, &usage)
 	var err error
 	if cx, ok := w.Executor.(savanna.ContextExecutor); ok {
 		err = cx.ExecuteContext(ctx, run)
@@ -464,19 +473,33 @@ func (s *wsession) execute(ctx context.Context, run cheetah.Run, memo *savanna.M
 	}
 	seconds := time.Since(start).Seconds()
 	w.hRunSecs.Observe(seconds)
+	if !usage.Zero() {
+		span.Annotate(telemetry.Float("cpu_s", usage.CPUSeconds()),
+			telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+		w.hCPUSecs.Observe(usage.CPUSeconds())
+		w.hMaxRSS.Observe(float64(usage.MaxRSSBytes))
+		w.Events.Append(eventlog.Info, eventlog.RunResources, "", span.ID(),
+			telemetry.String("run", run.ID), telemetry.String("worker", s.name),
+			telemetry.Float("cpu_s", usage.CPUSeconds()),
+			telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+	}
 	if err != nil {
 		w.mFailed.Inc()
 		span.End(telemetry.String("status", "failed"))
 		w.Events.Append(eventlog.Error, eventlog.RunFailed, err.Error(), span.ID(),
 			telemetry.String("run", run.ID), telemetry.String("worker", s.name))
 		return Outcome{RunID: run.ID, Seconds: seconds,
-			Err: err.Error(), Class: string(resilience.Classify(err))}
+			Err: err.Error(), Class: string(resilience.Classify(err)),
+			CPUUserSeconds: usage.CPUUserSeconds, CPUSystemSeconds: usage.CPUSystemSeconds,
+			MaxRSSBytes: usage.MaxRSSBytes}
 	}
 	w.mExecuted.Inc()
 	span.End(telemetry.String("status", "succeeded"))
 	w.Events.Append(eventlog.Info, eventlog.RunSucceeded, "", span.ID(),
 		telemetry.String("run", run.ID), telemetry.String("worker", s.name))
-	return Outcome{RunID: run.ID, OK: true, Seconds: seconds, Outputs: outputs}
+	return Outcome{RunID: run.ID, OK: true, Seconds: seconds, Outputs: outputs,
+		CPUUserSeconds: usage.CPUUserSeconds, CPUSystemSeconds: usage.CPUSystemSeconds,
+		MaxRSSBytes: usage.MaxRSSBytes}
 }
 
 // digestStrings renders an action result's outputs for the wire.

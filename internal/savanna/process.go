@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fairflow/internal/cheetah"
@@ -123,7 +124,49 @@ func (p *ProcessExecutor) ExecuteContext(ctx context.Context, run cheetah.Run) e
 	}
 	cmd.Env = env
 
-	if err := cmd.Run(); err != nil {
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("savanna: run %s: %w", run.ID, err)
+	}
+	// Sample the child's peak RSS from /proc while it lives: rusage at exit
+	// already carries the high-water mark, but a run that wedges and gets
+	// process-group-killed may take WaitDelay to reap — the live sampler has
+	// the peak either way, and the two merge by max below.
+	var livePeak atomic.Int64
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		pid := cmd.Process.Pid
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-ticker.C:
+				if rss, ok := procPeakRSS(pid); ok && rss > livePeak.Load() {
+					livePeak.Store(rss)
+				}
+			}
+		}
+	}()
+	waitErr := cmd.Wait()
+	close(samplerStop)
+	<-samplerDone
+	// Harvest the kernel's accounting on every exit path — including the
+	// deadline kill, where Wait returns an error but ProcessState is still
+	// populated from the reap.
+	if sink := ResourceSinkFrom(ctx); sink != nil {
+		usage, ok := processUsage(cmd.ProcessState)
+		if peak := livePeak.Load(); peak > usage.MaxRSSBytes {
+			usage.MaxRSSBytes = peak
+			ok = true
+		}
+		if ok {
+			sink.Accumulate(usage)
+		}
+	}
+	if waitErr != nil {
 		if ctx.Err() == context.DeadlineExceeded {
 			// Wrap the context error so resilience.Classify reads this as
 			// ClassDeadline without an explicit mark.
@@ -136,10 +179,10 @@ func (p *ProcessExecutor) ExecuteContext(ctx context.Context, run cheetah.Run) e
 		// deterministic, so retrying wastes the budget. Spawn errors and
 		// signal deaths stay transient (the default class).
 		var exit *exec.ExitError
-		if errors.As(err, &exit) && exit.Exited() {
-			return resilience.MarkPermanent(fmt.Errorf("savanna: run %s: %w", run.ID, err))
+		if errors.As(waitErr, &exit) && exit.Exited() {
+			return resilience.MarkPermanent(fmt.Errorf("savanna: run %s: %w", run.ID, waitErr))
 		}
-		return fmt.Errorf("savanna: run %s: %w", run.ID, err)
+		return fmt.Errorf("savanna: run %s: %w", run.ID, waitErr)
 	}
 	return nil
 }

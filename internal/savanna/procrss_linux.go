@@ -1,0 +1,39 @@
+//go:build linux
+
+package savanna
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// procPeakRSS reads the live peak resident set size (VmHWM, the kernel's
+// high-water mark) of a running process from /proc. This is the long-run
+// complement to the post-exit rusage harvest: a run that is killed by the
+// walltime still had its peak observed while alive, and the two merge by
+// max. ok is false when the process is gone or /proc is unreadable.
+func procPeakRSS(pid int) (int64, bool) {
+	data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/status")
+	if err != nil {
+		return 0, false
+	}
+	// VmHWM:	    2048 kB
+	i := bytes.Index(data, []byte("VmHWM:"))
+	if i < 0 {
+		return 0, false
+	}
+	line := data[i+len("VmHWM:"):]
+	if j := bytes.IndexByte(line, '\n'); j >= 0 {
+		line = line[:j]
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+	if err != nil || kb <= 0 {
+		return 0, false
+	}
+	return kb * 1024, true
+}

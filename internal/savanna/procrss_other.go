@@ -1,0 +1,9 @@
+//go:build !linux
+
+package savanna
+
+// procPeakRSS has no portable implementation off Linux; the rusage harvest
+// at exit is the only RSS source there.
+func procPeakRSS(int) (int64, bool) {
+	return 0, false
+}

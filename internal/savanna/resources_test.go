@@ -1,0 +1,111 @@
+package savanna
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/resilience"
+)
+
+func TestResourceUsageAccumulate(t *testing.T) {
+	var u ResourceUsage
+	if !u.Zero() {
+		t.Fatal("fresh usage not zero")
+	}
+	u.Accumulate(ResourceUsage{CPUUserSeconds: 1, CPUSystemSeconds: 0.5, MaxRSSBytes: 100})
+	u.Accumulate(ResourceUsage{CPUUserSeconds: 2, CPUSystemSeconds: 0.25, MaxRSSBytes: 50})
+	if u.CPUUserSeconds != 3 || u.CPUSystemSeconds != 0.75 {
+		t.Errorf("CPU sums wrong: %+v", u)
+	}
+	if u.MaxRSSBytes != 100 {
+		t.Errorf("RSS should be the max across attempts, got %d", u.MaxRSSBytes)
+	}
+	if u.CPUSeconds() != 3.75 {
+		t.Errorf("CPUSeconds = %v", u.CPUSeconds())
+	}
+}
+
+func TestResourceSinkContext(t *testing.T) {
+	if ResourceSinkFrom(context.Background()) != nil {
+		t.Fatal("sink from bare context")
+	}
+	var u ResourceUsage
+	ctx := WithResourceSink(context.Background(), &u)
+	if ResourceSinkFrom(ctx) != &u {
+		t.Fatal("sink not carried")
+	}
+}
+
+func requireRusagePlatform(t *testing.T) {
+	t.Helper()
+	switch runtime.GOOS {
+	case "linux", "darwin":
+	default:
+		t.Skipf("no rusage accounting on %s", runtime.GOOS)
+	}
+}
+
+// TestProcessExecutorCapturesRusage: a CPU-burning child's consumed CPU time
+// and peak RSS land in the context's resource sink.
+func TestProcessExecutorCapturesRusage(t *testing.T) {
+	requireRusagePlatform(t)
+	exe := &ProcessExecutor{
+		Command: []string{"sh", "-c", "i=0; while [ $i -lt 300000 ]; do i=$((i+1)); done"},
+	}
+	var usage ResourceUsage
+	ctx := WithResourceSink(context.Background(), &usage)
+	if err := exe.ExecuteContext(ctx, cheetah.Run{ID: "burn"}); err != nil {
+		t.Fatal(err)
+	}
+	if usage.CPUSeconds() <= 0 {
+		t.Errorf("CPU-burning run reported %.6fs CPU", usage.CPUSeconds())
+	}
+	if usage.MaxRSSBytes <= 0 {
+		t.Errorf("run reported %d peak RSS bytes", usage.MaxRSSBytes)
+	}
+}
+
+// TestProcessExecutorRusageAfterDeadlineKill is the regression test for the
+// kill path: a child cut off by the per-run deadline (process-group SIGKILL)
+// must still report the resources it consumed before dying — cmd.Wait's
+// error does not mean ProcessState is gone.
+func TestProcessExecutorRusageAfterDeadlineKill(t *testing.T) {
+	requireRusagePlatform(t)
+	exe := &ProcessExecutor{
+		// Burn CPU briefly, then sleep far past the deadline: the kill lands
+		// on a sleeping child that already has CPU time and RSS on the books.
+		Command: []string{"sh", "-c", "i=0; while [ $i -lt 300000 ]; do i=$((i+1)); done; sleep 30"},
+		Timeout: 2 * time.Second,
+	}
+	var usage ResourceUsage
+	ctx := WithResourceSink(context.Background(), &usage)
+	start := time.Now()
+	err := exe.ExecuteContext(ctx, cheetah.Run{ID: "killed"})
+	if err == nil {
+		t.Fatal("deadline-killed run reported success")
+	}
+	if resilience.Classify(err) != resilience.ClassDeadline {
+		t.Fatalf("kill classified %q (%v)", resilience.Classify(err), err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("kill took %s", elapsed)
+	}
+	if usage.CPUSeconds() <= 0 {
+		t.Errorf("killed run lost its CPU accounting: %.6fs", usage.CPUSeconds())
+	}
+	if usage.MaxRSSBytes <= 0 {
+		t.Errorf("killed run lost its RSS accounting: %d bytes", usage.MaxRSSBytes)
+	}
+}
+
+// TestProcessExecutorNoSinkStillRuns: resource capture is optional — without
+// a sink in the context the executor behaves as before.
+func TestProcessExecutorNoSinkStillRuns(t *testing.T) {
+	exe := &ProcessExecutor{Command: []string{"sh", "-c", "true"}}
+	if err := exe.ExecuteContext(context.Background(), cheetah.Run{ID: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package savanna
+
+import "os"
+
+// processUsage reports nothing where rusage accounting is unavailable; the
+// engines then simply omit resource annotations.
+func processUsage(*os.ProcessState) (ResourceUsage, bool) {
+	return ResourceUsage{}, false
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package savanna
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// processUsage extracts the kernel's resource accounting from a reaped
+// process. Valid on any exit path — clean exit, non-zero exit, signal death
+// from a process-group kill — because the accounting rides the wait status,
+// not the exit status. ok is false only when the process was never waited
+// (Start failed) or the platform handed back an unexpected rusage type.
+func processUsage(ps *os.ProcessState) (ResourceUsage, bool) {
+	if ps == nil {
+		return ResourceUsage{}, false
+	}
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return ResourceUsage{}, false
+	}
+	return ResourceUsage{
+		CPUUserSeconds:   timevalSeconds(ru.Utime),
+		CPUSystemSeconds: timevalSeconds(ru.Stime),
+		MaxRSSBytes:      maxRSSBytes(int64(ru.Maxrss)),
+	}, true
+}
+
+func timevalSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}
+
+// maxRSSBytes normalises ru_maxrss to bytes: Linux reports kilobytes,
+// Darwin bytes (the BSDs vary; kilobytes is the common case).
+func maxRSSBytes(raw int64) int64 {
+	if raw <= 0 {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return raw
+	}
+	return raw * 1024
+}

@@ -178,6 +178,8 @@ type LocalEngine struct {
 	mQuarantined *telemetry.Counter
 	hRunSecs     *telemetry.Histogram
 	hAttempts    *telemetry.Histogram
+	hCPUSecs     *telemetry.Histogram
+	hMaxRSS      *telemetry.Histogram
 }
 
 // telemetryInit resolves the engine's instruments (no-ops when Metrics is
@@ -191,6 +193,8 @@ func (e *LocalEngine) telemetryInit() {
 		e.mQuarantined = e.Metrics.Counter("savanna.quarantined_total")
 		e.hRunSecs = e.Metrics.Histogram("savanna.run_seconds", nil)
 		e.hAttempts = e.Metrics.Histogram("savanna.run_attempts", []float64{1, 2, 3, 5, 8, 13})
+		e.hCPUSecs = e.Metrics.Histogram("savanna.run_cpu_seconds", nil)
+		e.hMaxRSS = e.Metrics.Histogram("savanna.run_max_rss_bytes", RSSBuckets)
 	})
 }
 
@@ -350,14 +354,19 @@ func (e *LocalEngine) execute(ctx context.Context, run cheetah.Run, rc *resilien
 func (e *LocalEngine) skipOne(campaign string, run cheetah.Run, rc *resilience.Controller) RunResult {
 	rc.JournalAttempt(run.ID, PointKey(run), 0, resilience.AttemptSkipped, "", nil)
 	rc.NoteOutcome(resilience.OutcomeSkipped)
-	e.appendProvenance(campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false)
+	e.appendProvenance(campaign, run, provenance.StatusSkipped, 0, cas.ActionResult{}, false, ResourceUsage{})
 	return RunResult{Run: run, Status: provenance.StatusSkipped}
 }
 
 func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheetah.Run, rc *resilience.Controller) RunResult {
 	start := time.Now()
-	_, span := e.Tracer.Start(ctx, "savanna.run", telemetry.String("run", run.ID))
+	runCtx, span := e.Tracer.Start(ctx, "savanna.run", telemetry.String("run", run.ID))
 	e.Events.Append(eventlog.Info, eventlog.RunStart, "", span.ID(), telemetry.String("run", run.ID))
+	// Per-run resource sink: the executor accumulates each attempt's rusage
+	// into it, and the settled total lands on the span, the cost histograms
+	// and the provenance record.
+	var usage ResourceUsage
+	runCtx = WithResourceSink(runCtx, &usage)
 	point := PointKey(run)
 	q := rc.Quarantine()
 
@@ -370,7 +379,7 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 			if e.CampaignDir != "" {
 				cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunSucceeded)
 			}
-			e.appendProvenance(campaign, run, provenance.StatusSucceeded, elapsed, cached, true)
+			e.appendProvenance(campaign, run, provenance.StatusSucceeded, elapsed, cached, true, ResourceUsage{})
 			rc.JournalAttempt(run.ID, point, 0, resilience.AttemptCached, "", nil)
 			rc.NoteOutcome(resilience.OutcomeCached)
 			e.mCached.Inc()
@@ -402,7 +411,7 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 	for {
 		attempt++
 		rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptStart, "", nil)
-		err = e.execute(ctx, run, rc)
+		err = e.execute(runCtx, run, rc)
 		if err == nil && e.Memo != nil && e.Memo.validate() == nil {
 			recorded, err = e.Memo.record(run) // a failed record is a failed run: its reuse contract is broken
 		}
@@ -425,7 +434,15 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 		e.Events.Append(eventlog.Warn, eventlog.RunRetry, err.Error(), span.ID(),
 			telemetry.String("run", run.ID), telemetry.Int("attempt", attempt),
 			telemetry.String("class", string(class)), telemetry.Int("delay_ms", int(prev.Milliseconds())))
-		if rc.Sleep(ctx, prev) != nil {
+		// The backoff sleep gets its own child span so critical-path analysis
+		// can attribute this dead time to "retry" rather than lumping it into
+		// the run's exec time.
+		_, waitSpan := e.Tracer.Start(runCtx, "savanna.retry_wait",
+			telemetry.String("run", run.ID), telemetry.Int("attempt", attempt),
+			telemetry.Int("delay_ms", int(prev.Milliseconds())))
+		sleepErr := rc.Sleep(ctx, prev)
+		waitSpan.End()
+		if sleepErr != nil {
 			break // campaign cancelled mid-backoff; err keeps the last failure
 		}
 	}
@@ -442,9 +459,21 @@ func (e *LocalEngine) executeOne(ctx context.Context, campaign string, run cheet
 	if e.CampaignDir != "" {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, dirStatus)
 	}
-	e.appendProvenance(campaign, run, status, elapsed, recorded, false)
+	e.appendProvenance(campaign, run, status, elapsed, recorded, false, usage)
 	e.hRunSecs.Observe(elapsed.Seconds())
 	e.hAttempts.Observe(float64(attempt))
+	if !usage.Zero() {
+		span.Annotate(telemetry.Float("cpu_s", usage.CPUSeconds()),
+			telemetry.Float("cpu_user_s", usage.CPUUserSeconds),
+			telemetry.Float("cpu_sys_s", usage.CPUSystemSeconds),
+			telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+		e.hCPUSecs.Observe(usage.CPUSeconds())
+		e.hMaxRSS.Observe(float64(usage.MaxRSSBytes))
+		e.Events.Append(eventlog.Info, eventlog.RunResources, "", span.ID(),
+			telemetry.String("run", run.ID),
+			telemetry.Float("cpu_s", usage.CPUSeconds()),
+			telemetry.Int("max_rss_bytes", int(usage.MaxRSSBytes)))
+	}
 	if err != nil {
 		// The failure's cause rides both observability channels: an "error"
 		// span attribute (visible in fairctl trace and the Chrome export)
@@ -481,7 +510,7 @@ func (e *LocalEngine) quarantineOne(campaign string, run cheetah.Run, span *tele
 	if e.CampaignDir != "" {
 		cheetah.SetRunStatus(e.CampaignDir, run.ID, cheetah.RunFailed)
 	}
-	e.appendProvenance(campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false)
+	e.appendProvenance(campaign, run, provenance.StatusFailed, 0, cas.ActionResult{}, false, ResourceUsage{})
 	if attempt > 0 {
 		e.hAttempts.Observe(float64(attempt))
 	}
@@ -506,7 +535,7 @@ func (e *LocalEngine) quarantineOne(campaign string, run cheetah.Run, span *tele
 // appendProvenance emits one run's provenance record, carrying the memo's
 // input and output digests (the ontology's input-digest/output-digest terms)
 // and a cached annotation for skipped runs.
-func (e *LocalEngine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool) {
+func (e *LocalEngine) appendProvenance(campaign string, run cheetah.Run, status provenance.Status, elapsed time.Duration, res cas.ActionResult, cached bool, usage ResourceUsage) {
 	if e.Prov == nil {
 		return
 	}
@@ -526,6 +555,13 @@ func (e *LocalEngine) appendProvenance(campaign string, run cheetah.Run, status 
 		rec.Annotations = append(rec.Annotations, provenance.Annotation{
 			Key: "cached", Value: "true", Sensitivity: provenance.Public,
 		})
+	}
+	if !usage.Zero() {
+		rec.Resources = &provenance.Resources{
+			CPUUserSeconds:   usage.CPUUserSeconds,
+			CPUSystemSeconds: usage.CPUSystemSeconds,
+			MaxRSSBytes:      usage.MaxRSSBytes,
+		}
 	}
 	e.Prov.Append(rec)
 }

@@ -13,6 +13,7 @@ import (
 	"fairflow/internal/resilience"
 	"fairflow/internal/telemetry"
 	"fairflow/internal/telemetry/eventlog"
+	"fairflow/internal/telemetry/history"
 )
 
 // DurationModel predicts the execution time of a run on the simulated
@@ -94,6 +95,15 @@ type SimEngine struct {
 	// and before the simulation drains — the hook for scheduling mid-sim
 	// observations (e.g. recurring monitor.Health evaluations) on the sim.
 	Probe func(*hpcsim.Sim, *hpcsim.Cluster)
+	// History, when non-nil, records registry snapshots in virtual time: the
+	// engine points the ring's clock at the simulation and samples at run
+	// completions, throttled to HistoryInterval, so a campaign simulated in
+	// milliseconds still yields a metric time series spanning its simulated
+	// hours.
+	History *history.Ring
+	// HistoryInterval is the minimum virtual time between History samples.
+	// Default 1s.
+	HistoryInterval time.Duration
 
 	// clockBase accumulates virtual seconds across allocations so each
 	// fresh Sim (which starts at 0) continues the campaign's timeline.
@@ -152,6 +162,19 @@ func (e *SimEngine) setVirtualClock(now func() float64) {
 	})
 	e.Tracer.SetClock(clk)
 	e.Events.SetClock(clk)
+	e.History.SetClock(clk)
+}
+
+// sampleHistory throttle-samples the history ring in virtual time.
+func (e *SimEngine) sampleHistory() {
+	if e.History == nil {
+		return
+	}
+	min := e.HistoryInterval
+	if min <= 0 {
+		min = time.Second
+	}
+	e.History.SampleEvery(min)
 }
 
 // runDuration derives the deterministic duration of a run.
@@ -373,6 +396,10 @@ func (e *SimEngine) startSimRun(ctx context.Context, a *hpcsim.Allocation, run c
 	e.rc.JournalAttempt(run.ID, point, attempt, resilience.AttemptStart, "", nil)
 	var task *hpcsim.Task
 	task, err := a.RunTask(run.ID, nid, dur, func(ok bool) {
+		// Every attempt completion is a history sampling opportunity; the
+		// ring throttles to its virtual-time cadence. Deferred so the sample
+		// sees this attempt's counter updates.
+		defer e.sampleHistory()
 		if !ok {
 			// Infrastructure kill: the attempt is refunded — a node failure
 			// or walltime cut says nothing about the run itself.

@@ -105,6 +105,9 @@ const (
 	// RunQuarantined marks a run terminally side-lined because its sweep
 	// point kept failing — the circuit breaker's terminal event.
 	RunQuarantined = "run.quarantined"
+	// RunResources carries a settled run's measured cost (attrs: run, cpu_s,
+	// max_rss_bytes) harvested from the kernel's rusage accounting.
+	RunResources = "run.resources"
 
 	TaskStart  = "task.start"
 	TaskDone   = "task.done"

@@ -1,0 +1,58 @@
+package history
+
+import (
+	"testing"
+
+	"fairflow/internal/telemetry"
+)
+
+// BenchmarkSelfTelemetryOverhead pins what the history sampler costs the
+// instrumentation hot path: the same fixed batch of counter increments and
+// histogram observations, once with no ring and once with a ring snapshotting
+// the registry at a realistic cadence (one sample per 2000 updates — far
+// denser than the production 2 s ticker ever reaches). The bench gate holds
+// the on/off ratio, so a regression that makes Snapshot contend with writers
+// trips CI on any machine. Each iteration does a fixed amount of work, which
+// keeps the numbers meaningful under bench-json's -benchtime=1x.
+func BenchmarkSelfTelemetryOverhead(b *testing.B) {
+	const (
+		opsPerIter  = 200_000
+		sampleEvery = 2_000 // → 100 ring samples per iteration
+	)
+
+	setup := func() (*telemetry.Registry, []*telemetry.Counter, *telemetry.Histogram) {
+		reg := telemetry.NewRegistry()
+		counters := make([]*telemetry.Counter, 8)
+		for i := range counters {
+			counters[i] = reg.Counter("bench.counter", "idx", string(rune('a'+i)))
+		}
+		h := reg.Histogram("bench.seconds", []float64{0.01, 0.1, 1, 10})
+		return reg, counters, h
+	}
+
+	b.Run("sampling-off", func(b *testing.B) {
+		_, counters, h := setup()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for op := 0; op < opsPerIter; op++ {
+				counters[op%len(counters)].Inc()
+				h.Observe(float64(op%100) / 100)
+			}
+		}
+	})
+
+	b.Run("sampling-on", func(b *testing.B) {
+		reg, counters, h := setup()
+		ring := New(reg, DefaultCapacity)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for op := 0; op < opsPerIter; op++ {
+				counters[op%len(counters)].Inc()
+				h.Observe(float64(op%100) / 100)
+				if op%sampleEvery == 0 {
+					ring.Sample()
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// seriesPoint is one (time, value) pair of a reduced single-metric series.
+type seriesPoint struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// Handler serves the ring as JSON, the debug-mux companion to /metrics.json:
+//
+//	/series.json                  → every retained sample, oldest first
+//	/series.json?metric=NAME      → [{time, value}] for one metric, reduced
+//	                                 with the same semantics as rate() rules
+//
+// An empty ring serves an empty list, not an error — "no history yet" is a
+// normal early-campaign state.
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		samples := r.Samples()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if name := req.URL.Query().Get("metric"); name != "" {
+			points := make([]seriesPoint, len(samples))
+			for i, s := range samples {
+				points[i] = seriesPoint{Time: s.Time, Value: MetricValue(s.Metrics, name)}
+			}
+			enc.Encode(points)
+			return
+		}
+		if samples == nil {
+			samples = []Sample{}
+		}
+		enc.Encode(samples)
+	})
+}
