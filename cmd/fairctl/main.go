@@ -49,13 +49,26 @@
 //	                                  if runs remain), or re-execute the remainder
 //	                                  with retries/quarantine/deadlines armed when
 //	                                  a command template follows --
-//	fairctl worker -connect host:port [-name w1] [-slots 2] [-cas store]
+//	fairctl worker -connect host:port [-name w1] [-slots 2] [-serve] [-cas store]
 //	               [-out name:relpath]... [-workdir dir] -- cmd {param}...
-//	                                  join a coordinator (savanna run -remote) as a
-//	                                  remote execution worker: runs arrive in
-//	                                  batches under a heartbeat-renewed lease, each
-//	                                  executes via the command template, and named
-//	                                  outputs sync by CAS digest
+//	                                  join a coordinator (savanna run -remote, or
+//	                                  fairctl coordinate) as a remote execution
+//	                                  worker: runs arrive in batches under a
+//	                                  heartbeat-renewed lease, each executes via
+//	                                  the command template, and named outputs sync
+//	                                  by CAS digest; -serve survives coordinator
+//	                                  loss by reconnecting with backoff and
+//	                                  replaying spooled outcomes to the successor
+//	fairctl coordinate -campaign <dir> [-listen host:port] [-resume | -standby]
+//	                   [-journal attempts.jsonl] [-lease-file f] [-coord-ttl 3s]
+//	                   [-fsync-every 32] [-events out.jsonl] [-report r.json]
+//	                                  run one failover-capable coordinator
+//	                                  incarnation: journal every state transition,
+//	                                  fence a fresh epoch, dispatch only the runs
+//	                                  the journal still owes; -resume restarts a
+//	                                  crashed campaign, -standby tails the lease
+//	                                  file and takes over when the active claim
+//	                                  goes stale; exit 3 while runs remain
 package main
 
 import (
@@ -163,6 +176,8 @@ func main() {
 		resumeCmd(os.Args[2:])
 	case "worker":
 		workerCmd(os.Args[2:])
+	case "coordinate":
+		coordinateCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -375,7 +390,7 @@ func export(wfFile, provFile, campaign string, includeInternal bool, out string)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|analyze|watch|health|resume|worker> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairctl <gauges|terms|assess|plan|export|cas|metrics|trace|analyze|watch|health|resume|worker|coordinate> [flags]")
 	os.Exit(2)
 }
 

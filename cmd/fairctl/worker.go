@@ -43,6 +43,7 @@ func workerCmd(args []string) {
 	workdir := fs.String("workdir", "", "root for per-run working directories (default: a temp dir)")
 	timeout := fs.Duration("timeout", 0, "per-process walltime (0 = none)")
 	dialWait := fs.Duration("dial-wait", 30*time.Second, "keep retrying the initial dial for this long")
+	serve := fs.Bool("serve", false, "survive coordinator loss: reconnect with backoff and replay spooled outcomes to the successor")
 	casDir := fs.String("cas", "", "artifact store directory for the worker-side memo cache")
 	var outs multiFlag
 	fs.Var(&outs, "out", "output artifact as name:relpath under the run's working directory (repeatable)")
@@ -131,6 +132,19 @@ func workerCmd(args []string) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -serve is the failover mode: the worker outlives coordinator
+	// incarnations, reconnecting with jittered backoff (the initial
+	// not-yet-listening window included) and replaying its outcome spool
+	// to whichever successor fences in (DESIGN.md §4j).
+	if *serve {
+		w.ReconnectWait = *dialWait
+		if err := w.Serve(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "fairctl: worker drained, exiting")
+		return
+	}
 
 	// The coordinator may not be listening yet (CI starts both at once):
 	// retry the dial with backoff until the window closes.

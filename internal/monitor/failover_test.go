@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"fairflow/internal/telemetry"
+	"fairflow/internal/telemetry/eventlog"
+)
+
+// TestCoordinatorFlapRuleFiresAndResolves drives the canned coordinator-
+// flap rule: a single planned failover stays quiet, a crash loop of
+// takeovers fires the alert, and a stable incarnation resolves it.
+func TestCoordinatorFlapRuleFiresAndResolves(t *testing.T) {
+	clk := newSimClock()
+	log := eventlog.NewLog()
+	log.SetClock(clk)
+	reg := telemetry.NewRegistry()
+	takeovers := reg.Counter("remote.coordinator_takeovers_total")
+
+	m := New(Config{Rules: []Rule{CoordinatorFlapRule(0.05)}}, reg, log)
+
+	flap := func(h CampaignHealth) AlertState {
+		for _, a := range h.Alerts {
+			if a.Alert == "coordinator-flap" {
+				return a
+			}
+		}
+		t.Fatal("coordinator-flap alert missing from report")
+		return AlertState{}
+	}
+
+	// First evaluation establishes the rate base.
+	if flap(m.Health()).Firing {
+		t.Fatal("coordinator-flap firing before any takeover")
+	}
+
+	// One planned failover in 100 simulated seconds: 0.01/s < 0.05 — a
+	// deliberate handover is not a flap.
+	takeovers.Inc()
+	clk.advance(100 * time.Second)
+	if a := flap(m.Health()); a.Firing {
+		t.Fatalf("single takeover fired the flap alert: %+v", a)
+	}
+
+	// Crash loop: 3 takeovers in 10 seconds → 0.3/s > 0.05.
+	takeovers.Add(3)
+	clk.advance(10 * time.Second)
+	if a := flap(m.Health()); !a.Firing {
+		t.Fatalf("coordinator-flap quiet through a crash loop: %+v", a)
+	}
+
+	// A stable incarnation resolves it.
+	clk.advance(60 * time.Second)
+	if flap(m.Health()).Firing {
+		t.Fatal("coordinator-flap still firing after the loop ended")
+	}
+}
+
+// TestCoordinatorFlapRuleGrammar pins the canned rule's round-trip through
+// the rule grammar, so -rule strings and the Go constructor stay aligned.
+func TestCoordinatorFlapRuleGrammar(t *testing.T) {
+	want := CoordinatorFlapRule(0.05)
+	got, err := ParseRule(want.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ParseRule(%q) = %+v, want %+v", want.String(), got, want)
+	}
+}

@@ -157,6 +157,25 @@ func DeadWorkerRule() Rule {
 	}
 }
 
+// CoordinatorFlapRule is the canned alert for coordinator churn: the
+// remote.coordinator_takeovers_total counter increments once per fenced
+// handover, so its rate climbing past threshold per second means the
+// coordinator role is flapping — successive incarnations keep dying (OOM
+// loop, bad host, two standbys fighting over a slow filesystem) and the
+// campaign spends its time replaying journals instead of dispatching
+// runs. A single planned failover never fires this; a crash loop does.
+// Equivalent to the rule string
+// "coordinator-flap: rate(remote.coordinator_takeovers_total) > <threshold>".
+func CoordinatorFlapRule(threshold float64) Rule {
+	return Rule{
+		Name:      "coordinator-flap",
+		Metric:    "remote.coordinator_takeovers_total",
+		Predicate: Above,
+		Threshold: threshold,
+		Rate:      true,
+	}
+}
+
 // exceeded reports whether value trips the rule's threshold.
 func (r Rule) exceeded(value float64) bool {
 	if r.Predicate == Below {

@@ -48,6 +48,13 @@ type Engine struct {
 	// IOTimeout bounds each message send and each idle connection read
 	// (default 2×LeaseTTL + 2s; heartbeats keep healthy connections warm).
 	IOTimeout time.Duration
+	// Epoch is this coordinator incarnation's fenced journal epoch
+	// (resilience.Journal.OpenEpoch). It stamps every outgoing message and
+	// the lease grant; workers reject traffic from lower epochs. 0 (the
+	// default for journal-less engines) disables fencing. Coordinate sets
+	// it; set it manually only when driving RunCampaign directly against a
+	// shared journal.
+	Epoch int64
 
 	// Prov, CampaignDir, Retries, Resilience, Memo, Tracer, Metrics and
 	// Events carry the LocalEngine contract unchanged; see savanna.LocalEngine.
@@ -80,6 +87,9 @@ type Engine struct {
 	mSteals      *telemetry.Counter
 	mStolenRuns  *telemetry.Counter
 	mDeadTotal   *telemetry.Counter
+	mStaleEpoch  *telemetry.Counter
+	mTakeovers   *telemetry.Counter
+	gEpoch       *telemetry.Gauge
 	gLive        *telemetry.Gauge
 	gDead        *telemetry.Gauge
 	hRunSecs     *telemetry.Histogram
@@ -111,6 +121,9 @@ func (e *Engine) telemetryInit() {
 		e.mSteals = e.Metrics.Counter("remote.steals_total")
 		e.mStolenRuns = e.Metrics.Counter("remote.stolen_runs_total")
 		e.mDeadTotal = e.Metrics.Counter("remote.workers_dead_total")
+		e.mStaleEpoch = e.Metrics.Counter("remote.stale_epoch_total")
+		e.mTakeovers = e.Metrics.Counter("remote.coordinator_takeovers_total")
+		e.gEpoch = e.Metrics.Gauge("remote.coordinator_epoch")
 		e.gLive = e.Metrics.Gauge("remote.workers_live")
 		e.gDead = e.Metrics.Gauge("remote.workers_dead")
 		e.hRunSecs = e.Metrics.Histogram("remote.run_seconds", nil)
@@ -247,6 +260,7 @@ func (e *Engine) RunCampaign(ctx context.Context, campaign string, runs []cheeta
 	}
 	defer ln.Close()
 
+	e.gEpoch.Set(float64(e.Epoch))
 	ctx, span := e.Tracer.Start(ctx, "remote.campaign",
 		telemetry.String("campaign", campaign),
 		telemetry.String("discipline", "distributed"),
@@ -425,6 +439,7 @@ func (co *coordinator) handleConn(nc net.Conn) {
 		nc.Close()
 		return
 	}
+	c.epoch.Store(e.Epoch)
 	m, err := c.recv(10 * time.Second)
 	if err != nil || m.Op != OpHello {
 		c.close()
@@ -466,7 +481,7 @@ func (co *coordinator) handleConn(nc net.Conn) {
 	e.mLeases.Inc()
 	e.Events.Append(eventlog.Info, eventlog.WorkerJoin, name, co.span.ID(),
 		telemetry.String("worker", name), telemetry.Int("slots", hello.Slots))
-	grant := LeaseGrant{Campaign: co.campaign, TTLMillis: co.e.leaseTTL().Milliseconds()}
+	grant := LeaseGrant{Campaign: co.campaign, TTLMillis: co.e.leaseTTL().Milliseconds(), Epoch: e.Epoch}
 	if e.Memo != nil {
 		grant.Component = e.Memo.ComponentDigest
 		grant.Inputs = e.Memo.InputDigests
@@ -487,6 +502,14 @@ func (co *coordinator) handleConn(nc net.Conn) {
 			co.workerGone(w, err)
 			return
 		}
+		// A worker echoes the epoch of the session that admitted it; with
+		// one fenced coordinator per address these always match. A mismatch
+		// means cross-incarnation confusion (a message raced a handover) —
+		// drop it rather than account it under the wrong epoch.
+		if m.Epoch != 0 && e.Epoch != 0 && m.Epoch != e.Epoch {
+			e.mStaleEpoch.Inc()
+			continue
+		}
 		switch m.Op {
 		case OpResult:
 			out, err := decodeBody[Outcome](m)
@@ -495,6 +518,12 @@ func (co *coordinator) handleConn(nc net.Conn) {
 				return
 			}
 			co.handleResult(w, out)
+			// Ack every result — duplicates and runs this (possibly resumed)
+			// incarnation no longer tracks included — AFTER it is folded
+			// into the journal, so the worker's spool entry only clears
+			// once the outcome is durable coordinator-side. Fire-and-forget:
+			// a lost ack just means one redundant replay later.
+			go c.send(OpResultAck, name, m.Lease, ResultAck{RunID: out.RunID})
 		case OpHeartbeat:
 			hb, err := decodeBody[Heartbeat](m)
 			if err != nil {
@@ -763,6 +792,13 @@ func (co *coordinator) handleStolen(w *wstate, st Stolen) {
 			continue
 		}
 		delete(w.outstanding, id)
+		// Journal the requeue: without it, a coordinator dying between this
+		// steal and the re-dispatch would replay the run as "dispatched to
+		// the victim" — owed either way, but the journal would blame a
+		// worker that no longer holds it. The stolen record keeps the
+		// ledger's worker attribution truthful across a handover.
+		co.rc.JournalAttemptWorker(id, savanna.PointKey(co.runs[i]), co.attempts[i],
+			resilience.AttemptStolen, w.name, "", nil)
 		co.e.mStolenRuns.Inc()
 		if aborted {
 			co.skipLocked(i)

@@ -1,0 +1,436 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairflow/internal/cheetah"
+	"fairflow/internal/resilience"
+	"fairflow/internal/savanna"
+	"fairflow/internal/telemetry"
+)
+
+// fakeCoord is a scripted coordinator end: full control over grants,
+// epochs, acks, and abrupt disconnects — the deterministic half of the
+// failover tests (the chaos test exercises the real thing).
+type fakeCoord struct {
+	t  *testing.T
+	ln net.Listener
+}
+
+func newFakeCoord(t *testing.T) *fakeCoord {
+	t.Helper()
+	return &fakeCoord{t: t, ln: listen(t)}
+}
+
+func (f *fakeCoord) addr() string { return f.ln.Addr().String() }
+
+// accept waits for a worker connection and answers its hello with a grant
+// at the given epoch, returning the session conn.
+func (f *fakeCoord) accept(epoch int64, lease int64) *conn {
+	f.t.Helper()
+	nc, err := f.ln.Accept()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	c, err := newConn(nc, 5*time.Second)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	m, err := c.recv(5 * time.Second)
+	if err != nil || m.Op != OpHello {
+		f.t.Fatalf("want hello, got %q err=%v", m.Op, err)
+	}
+	c.epoch.Store(epoch)
+	if err := c.send(OpLeaseGrant, m.Worker, lease, LeaseGrant{
+		Campaign: "fake", TTLMillis: 60_000, Epoch: epoch,
+	}); err != nil {
+		f.t.Fatal(err)
+	}
+	return c
+}
+
+// expect receives until a message with the wanted op arrives, skipping
+// heartbeat/telemetry noise.
+func (f *fakeCoord) expect(c *conn, op string) msg {
+	f.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := c.recv(5 * time.Second)
+		if err != nil {
+			f.t.Fatalf("waiting for %q: %v", op, err)
+		}
+		switch m.Op {
+		case OpHeartbeat, OpTelemetry:
+			continue
+		}
+		if m.Op != op {
+			f.t.Fatalf("want %q, got %q", op, m.Op)
+		}
+		return m
+	}
+	f.t.Fatalf("timed out waiting for %q", op)
+	return msg{}
+}
+
+// sendAt sends one message stamped with a specific epoch (restoring the
+// session epoch afterwards) — the partitioned-old-coordinator simulator.
+func (f *fakeCoord) sendAt(c *conn, epoch int64, op, worker string, lease int64, body any) {
+	f.t.Helper()
+	prev := c.epoch.Load()
+	c.epoch.Store(epoch)
+	err := c.send(op, worker, lease, body)
+	c.epoch.Store(prev)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// TestWorkerStaleEpochFencing pins the split-brain fence from the worker's
+// side: after a handover raises the worker's epoch, a partitioned old
+// coordinator's assignments are not executed, its result-acks do not clear
+// the spool, and its lease grants are rejected outright.
+func TestWorkerStaleEpochFencing(t *testing.T) {
+	fc := newFakeCoord(t)
+	defer fc.ln.Close()
+
+	executed := make(chan string, 16)
+	reg := telemetry.NewRegistry()
+	w := &Worker{
+		Name: "w0", Addr: fc.addr(), Slots: 1, Heartbeat: time.Hour,
+		Metrics: reg,
+		Executor: execFn(func(ctx context.Context, run cheetah.Run) error {
+			executed <- run.ID
+			return nil
+		}),
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	// Current coordinator: epoch 5.
+	c := fc.accept(5, 1)
+	c.send(OpAssign, "w0", 1, Assignment{Runs: []cheetah.Run{{ID: "r-live"}}})
+	m := fc.expect(c, OpResult)
+	out, err := decodeBody[Outcome](m)
+	if err != nil || out.RunID != "r-live" {
+		t.Fatalf("outcome = %+v err=%v", out, err)
+	}
+	if got := <-executed; got != "r-live" {
+		t.Fatalf("executed %q", got)
+	}
+	if d := w.SpoolDepth(); d != 1 {
+		t.Fatalf("spool depth before ack = %d, want 1", d)
+	}
+
+	// Partitioned predecessor (epoch 3): its assignment must not execute,
+	// and its ack must not clear the spooled r-live outcome.
+	fc.sendAt(c, 3, OpAssign, "w0", 1, Assignment{Runs: []cheetah.Run{{ID: "r-stale"}}})
+	fc.sendAt(c, 3, OpResultAck, "w0", 1, ResultAck{RunID: "r-live"})
+	// A current-epoch ack right behind them orders the stream: once it is
+	// processed, the stale messages are too.
+	c.send(OpResultAck, "w0", 1, ResultAck{RunID: "r-live"})
+	waitFor(t, time.Second, func() bool { return w.SpoolDepth() == 0 })
+	select {
+	case id := <-executed:
+		t.Fatalf("stale-epoch assignment executed: %q", id)
+	default:
+	}
+	if got := reg.Counter("remote_worker.stale_epoch_total").Value(); got != 2 {
+		t.Errorf("stale_epoch_total = %d, want 2 (assign + ack)", got)
+	}
+
+	// A stale drain must not end the session either.
+	fc.sendAt(c, 3, OpDrain, "w0", 1, nil)
+	select {
+	case err := <-done:
+		t.Fatalf("stale drain ended the session: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// A current-epoch drain does.
+	c.send(OpDrain, "w0", 1, nil)
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	c.close()
+
+	// Re-handshake against a deposed coordinator: the grant itself (epoch
+	// 3 < 5) must be rejected.
+	go func() { done <- w.Run(context.Background()) }()
+	c2 := fc.accept(3, 2)
+	if err := <-done; err == nil {
+		t.Fatal("stale lease grant accepted")
+	}
+	c2.close()
+	if w.Epoch() != 5 {
+		t.Errorf("worker epoch = %d, want 5", w.Epoch())
+	}
+}
+
+// TestWorkerSpoolReplayExactlyOnce pins the outcome spool across a
+// handover: runs finished while the coordinator is down replay on the next
+// handshake and the successor journals exactly one terminal record per
+// run, with the spool fully drained by acks.
+func TestWorkerSpoolReplayExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "attempts.jsonl")
+	runs := testRuns(6)
+
+	// Incarnation 1 (scripted): assigns two runs, then drops dead before
+	// any result lands — the worker finishes them into its spool.
+	fc := newFakeCoord(t)
+	var addr atomic.Value
+	addr.Store(fc.addr())
+
+	var executions int64
+	started := make(chan struct{}, 16)
+	w := &Worker{
+		Name: "w0", Slots: 2, Heartbeat: time.Hour,
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr.Load().(string)) },
+		Executor: execFn(func(ctx context.Context, run cheetah.Run) error {
+			started <- struct{}{}
+			atomic.AddInt64(&executions, 1)
+			time.Sleep(20 * time.Millisecond) // outlive the coordinator
+			return nil
+		}),
+		ReconnectBase: 10 * time.Millisecond, ReconnectWait: 10 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve(ctx) }()
+
+	c := fc.accept(1, 1)
+	c.send(OpAssign, "w0", 1, Assignment{Runs: []cheetah.Run{runs[0], runs[1]}})
+	<-started
+	<-started
+	c.close() // kill -9, morally: both runs are now mid-execution, unreported
+	fc.ln.Close()
+
+	// The journal carries what incarnation 1 did before dying.
+	j, err := resilience.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.OpenEpoch("coord-1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs[:2] {
+		j.Append(resilience.AttemptRecord{Run: r.ID, Point: savanna.PointKey(r),
+			Event: resilience.AttemptDispatched, Worker: "w0", Time: time.Now()})
+	}
+	j.Close()
+
+	// Incarnation 2 (real): resumes from the journal on a fresh address.
+	// The worker's spool replays r0/r1; the first-terminal-outcome latch
+	// dedups any re-dispatch race; the journal must end with exactly one
+	// terminal record per run.
+	ln2 := listen(t)
+	addr.Store(ln2.Addr().String())
+	e := &Engine{Listener: ln2, BatchSize: 4, LeaseTTL: time.Second, WorkerWait: 20 * time.Second}
+	results, report, info, err := Coordinate(context.Background(), CoordinateConfig{
+		Engine: e, Campaign: "spool", Runs: runs,
+		Journal: jpath, Holder: "coord-2", Resume: true, LeaseTTL: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete() {
+		t.Fatalf("report = %+v", report)
+	}
+	if info.Epoch != 2 {
+		t.Fatalf("successor fenced at epoch %d, want 2", info.Epoch)
+	}
+	if len(results) != len(runs) { // nothing was Done in the journal yet
+		t.Fatalf("dispatched %d results, want %d", len(results), len(runs))
+	}
+	cancel()
+	<-serveDone
+
+	recs, err := resilience.ReadJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	success := map[string]int{}
+	for _, r := range recs {
+		if r.Event == resilience.AttemptSuccess || r.Event == resilience.AttemptCached {
+			success[r.Run]++
+		}
+	}
+	for _, r := range runs {
+		if success[r.ID] != 1 {
+			t.Errorf("run %s journaled %d terminal successes, want exactly 1", r.ID, success[r.ID])
+		}
+	}
+	st := resilience.Replay(recs)
+	if rem := st.Remaining(runIDs(runs)); len(rem) != 0 {
+		t.Errorf("runs still owed after failover: %v", rem)
+	}
+	waitFor(t, time.Second, func() bool { return w.SpoolDepth() == 0 })
+}
+
+// TestWorkerServeReconnectNoGoroutineLeak pins satellite 2: forced
+// coordinator drops must not leak the dead session's goroutines (reader,
+// heartbeat, watcher, executors) across reconnects.
+func TestWorkerServeReconnectNoGoroutineLeak(t *testing.T) {
+	fc := newFakeCoord(t)
+	defer fc.ln.Close()
+
+	w := &Worker{
+		Name: "w0", Addr: fc.addr(), Slots: 2, Heartbeat: 10 * time.Millisecond,
+		Executor:      execFn(func(ctx context.Context, run cheetah.Run) error { return nil }),
+		ReconnectBase: 5 * time.Millisecond, ReconnectWait: 30 * time.Second,
+	}
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() { done <- w.Serve(context.Background()) }()
+
+	// Five sessions ending in abrupt coordinator death, then a clean drain.
+	for i := 0; i < 5; i++ {
+		c := fc.accept(int64(i+1), int64(i+1))
+		c.send(OpAssign, "w0", int64(i+1), Assignment{Runs: []cheetah.Run{{ID: fmt.Sprintf("r%d", i)}}})
+		fc.expect(c, OpResult)
+		c.close() // forced drop mid-session
+	}
+	c := fc.accept(6, 6)
+	c.send(OpDrain, "w0", 6, nil)
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	c.close()
+
+	// Goroutine counts need settling time; poll instead of sleeping blind.
+	waitFor(t, 2*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines: %d before, %d after 5 reconnects", before, after)
+	}
+}
+
+// TestCoordinateStandbyTakeover drives the warm-standby path in-process:
+// a standby blocks on the primary's lease file, takes over when renewals
+// stop, and finishes the campaign at a higher epoch.
+func TestCoordinateStandbyTakeover(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "attempts.jsonl")
+	runs := testRuns(30)
+
+	// "Primary": fences epoch 1, journals a few runs done, then dies
+	// without releasing its lease claim (the crash case).
+	j, err := resilience.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.OpenEpoch("primary"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs[:10] {
+		j.Append(resilience.AttemptRecord{Run: r.ID, Point: savanna.PointKey(r),
+			Attempt: 1, Event: resilience.AttemptSuccess, Worker: "w0", Time: time.Now()})
+	}
+	j.Close()
+	if _, err := resilience.AcquireFileLease(jpath+".lease", "primary", 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The primary never renews again — it is dead.
+
+	ln := listen(t)
+	var executed int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &Worker{Name: fmt.Sprintf("w%d", i), Addr: ln.Addr().String(), Slots: 2,
+			Heartbeat: 20 * time.Millisecond, ReconnectBase: 10 * time.Millisecond,
+			ReconnectWait: 20 * time.Second,
+			Executor: execFn(func(ctx context.Context, run cheetah.Run) error {
+				atomic.AddInt64(&executed, 1)
+				return nil
+			})}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Serve(ctx) }()
+	}
+
+	e := &Engine{Listener: ln, BatchSize: 8, LeaseTTL: time.Second, WorkerWait: 20 * time.Second}
+	start := time.Now()
+	_, report, info, err := Coordinate(context.Background(), CoordinateConfig{
+		Engine: e, Campaign: "standby", Runs: runs, Journal: jpath,
+		Holder: "standby", Standby: true,
+		LeaseTTL: 150 * time.Millisecond, TakeoverPoll: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete() {
+		t.Fatalf("report = %+v", report)
+	}
+	if info.Epoch != 2 {
+		t.Errorf("standby fenced at epoch %d, want 2", info.Epoch)
+	}
+	if info.Done != 10 || info.Dispatched != 20 {
+		t.Errorf("handover = %+v, want 10 done / 20 dispatched", info)
+	}
+	if e := time.Since(start); e < 100*time.Millisecond {
+		t.Errorf("standby took over after %v — before the primary's claim could lapse", e)
+	}
+	if got := atomic.LoadInt64(&executed); got != 20 {
+		t.Errorf("executed %d runs, want only the 20 the journal still owed", got)
+	}
+	// The lease file now names the standby at epoch 2.
+	st, ok, _ := resilience.ReadFileLease(jpath + ".lease")
+	if ok && (st.Holder != "standby" || st.Epoch != 2) {
+		t.Errorf("lease claim = %+v", st)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestCoordinateRefusesDirtyJournalWithoutResume pins the accidental-reuse
+// guard.
+func TestCoordinateRefusesDirtyJournalWithoutResume(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "attempts.jsonl")
+	j, _ := resilience.OpenJournal(jpath)
+	j.Append(resilience.AttemptRecord{Run: "r1", Attempt: 1, Event: resilience.AttemptSuccess, Time: time.Now()})
+	j.Close()
+	e := &Engine{Addr: "127.0.0.1:0"}
+	_, _, _, err := Coordinate(context.Background(), CoordinateConfig{
+		Engine: e, Campaign: "dirty", Runs: testRuns(2), Journal: jpath,
+	})
+	if err == nil {
+		t.Fatal("non-empty journal accepted without Resume")
+	}
+}
+
+func runIDs(runs []cheetah.Run) []string {
+	ids := make([]string, len(runs))
+	for i, r := range runs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+func waitFor(t *testing.T, d time.Duration, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !ok() {
+		t.Fatalf("condition not reached within %v", d)
+	}
+}

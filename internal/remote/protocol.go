@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairflow/internal/cheetah"
@@ -65,15 +66,32 @@ const (
 	// cadence; a final drain flush follows OpDrain, before the worker
 	// closes.
 	OpTelemetry = "telemetry"
+	// OpResultAck acknowledges one OpResult (coordinator → worker): body
+	// ResultAck. The ack clears the worker's outcome spool entry; until it
+	// arrives the worker keeps the outcome buffered and replays it on
+	// re-handshake, so a coordinator crash between a result send and its
+	// journal write never loses finished work. Acks are sent after the
+	// outcome is folded into the journal, and for *every* result — including
+	// duplicates and runs a resumed coordinator no longer tracks — so spools
+	// always drain.
+	OpResultAck = "result-ack"
 )
 
-// msgSchema is the one typed record layout of the execution plane.
+// msgSchema is the one typed record layout of the execution plane. The
+// epoch field fences coordinator handovers: every message carries its
+// sender's coordinator epoch (workers echo the epoch of the session that
+// admitted them), and receivers drop anything stamped below the highest
+// epoch they have seen — a partitioned predecessor's assignments and acks
+// are rejected, not executed. Epoch 0 (a journal-less coordinator) opts out
+// of fencing entirely, keeping pre-failover deployments byte-compatible in
+// behaviour.
 var msgSchema = &stream.Schema{
 	Name: "remote.v1",
 	Fields: []stream.Field{
 		{Name: "op", Type: stream.TString},
 		{Name: "worker", Type: stream.TString},
 		{Name: "lease", Type: stream.TInt64},
+		{Name: "epoch", Type: stream.TInt64},
 		{Name: "body", Type: stream.TBytes},
 	},
 }
@@ -96,6 +114,10 @@ type LeaseGrant struct {
 	// machine sharing the store.
 	Component string            `json:"component,omitempty"`
 	Inputs    map[string]string `json:"inputs,omitempty"`
+	// Epoch is the granting coordinator's fenced journal epoch. A worker
+	// that has already served a higher epoch rejects the grant — the dialed
+	// address reached a deposed incarnation.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Assignment is one batch of runs.
@@ -184,11 +206,17 @@ type Stolen struct {
 	RunIDs []string `json:"runs"`
 }
 
+// ResultAck acknowledges one run's outcome report.
+type ResultAck struct {
+	RunID string `json:"run"`
+}
+
 // msg is one decoded protocol record.
 type msg struct {
 	Op     string
 	Worker string
 	Lease  int64
+	Epoch  int64
 	Body   []byte
 }
 
@@ -210,6 +238,12 @@ func decodeBody[T any](m msg) (T, error) {
 type conn struct {
 	c   net.Conn
 	dec *stream.Decoder
+
+	// epoch stamps every outgoing message. The coordinator sets it to its
+	// fenced journal epoch at accept; the worker sets it from the lease
+	// grant, so its results carry the epoch of the session that admitted
+	// them.
+	epoch atomic.Int64
 
 	mu  sync.Mutex
 	enc *stream.Encoder
@@ -237,7 +271,7 @@ func (c *conn) send(op, worker string, lease int64, body any) error {
 			return err
 		}
 	}
-	rec, err := stream.NewRecord(msgSchema, op, worker, lease, payload)
+	rec, err := stream.NewRecord(msgSchema, op, worker, lease, c.epoch.Load(), payload)
 	if err != nil {
 		return err
 	}
@@ -276,7 +310,8 @@ func (c *conn) recv(maxIdle time.Duration) (msg, error) {
 		Op:     r.Values[0].(string),
 		Worker: r.Values[1].(string),
 		Lease:  r.Values[2].(int64),
-		Body:   r.Values[3].([]byte),
+		Epoch:  r.Values[3].(int64),
+		Body:   r.Values[4].([]byte),
 	}, nil
 }
 

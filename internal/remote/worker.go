@@ -3,6 +3,8 @@ package remote
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -47,21 +49,49 @@ type Worker struct {
 	Collect func(run cheetah.Run) (map[string]string, error)
 	Restore func(run cheetah.Run, outputs map[string]cas.Digest) error
 
+	// ReconnectWait bounds Serve's patience: after this long without a
+	// successful attach it gives up and returns the last error (default
+	// 60s). ReconnectBase/ReconnectMax tune the decorrelated-jitter backoff
+	// between attempts (defaults 100ms / 5s); Sleep paces it (nil =
+	// resilience.StdSleeper).
+	ReconnectWait time.Duration
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	Sleep         resilience.Sleeper
+	// SpoolLimit bounds the unacknowledged-outcome spool (default 4096
+	// entries). Overflow evicts oldest — the run re-executes under the next
+	// coordinator — and counts on remote_worker.spool_dropped_total.
+	SpoolLimit int
+
 	Tracer  *telemetry.Tracer
 	Metrics *telemetry.Registry
 	Events  *eventlog.Log
 
-	telOnce    sync.Once
-	mExecuted  *telemetry.Counter
-	mCached    *telemetry.Counter
-	mFailed    *telemetry.Counter
-	mStolen    *telemetry.Counter
-	gQueued    *telemetry.Gauge
-	gInFlight  *telemetry.Gauge
-	hRunSecs   *telemetry.Histogram
-	hQueueWait *telemetry.Histogram
-	hCPUSecs   *telemetry.Histogram
-	hMaxRSS    *telemetry.Histogram
+	// maxEpoch is the highest coordinator epoch this worker has served; it
+	// survives sessions, so after a handover the deposed incarnation's
+	// grants and messages are rejected. spool survives sessions too — that
+	// is its whole point.
+	maxEpoch  atomic.Int64
+	sawGrant  atomic.Bool
+	spoolOnce sync.Once
+	spool     *outcomeSpool
+
+	telOnce        sync.Once
+	mExecuted      *telemetry.Counter
+	mCached        *telemetry.Counter
+	mFailed        *telemetry.Counter
+	mStolen        *telemetry.Counter
+	mReconnects    *telemetry.Counter
+	mStaleEpoch    *telemetry.Counter
+	mSpoolReplayed *telemetry.Counter
+	mSpoolDropped  *telemetry.Counter
+	gSpoolDepth    *telemetry.Gauge
+	gQueued        *telemetry.Gauge
+	gInFlight      *telemetry.Gauge
+	hRunSecs       *telemetry.Histogram
+	hQueueWait     *telemetry.Histogram
+	hCPUSecs       *telemetry.Histogram
+	hMaxRSS        *telemetry.Histogram
 }
 
 func (w *Worker) telemetryInit() {
@@ -70,6 +100,11 @@ func (w *Worker) telemetryInit() {
 		w.mCached = w.Metrics.Counter("remote_worker.runs_cached_total")
 		w.mFailed = w.Metrics.Counter("remote_worker.runs_failed_total")
 		w.mStolen = w.Metrics.Counter("remote_worker.runs_relinquished_total")
+		w.mReconnects = w.Metrics.Counter("remote_worker.reconnects_total")
+		w.mStaleEpoch = w.Metrics.Counter("remote_worker.stale_epoch_total")
+		w.mSpoolReplayed = w.Metrics.Counter("remote_worker.spool_replayed_total")
+		w.mSpoolDropped = w.Metrics.Counter("remote_worker.spool_dropped_total")
+		w.gSpoolDepth = w.Metrics.Gauge("remote_worker.spool_depth")
 		w.gQueued = w.Metrics.Gauge("remote_worker.queued")
 		w.gInFlight = w.Metrics.Gauge("remote_worker.in_flight")
 		w.hRunSecs = w.Metrics.Histogram("remote_worker.run_seconds", nil)
@@ -91,6 +126,80 @@ func (w *Worker) ioTimeout() time.Duration {
 		return w.IOTimeout
 	}
 	return 10 * time.Second
+}
+
+func (w *Worker) reconnectWait() time.Duration {
+	if w.ReconnectWait > 0 {
+		return w.ReconnectWait
+	}
+	return 60 * time.Second
+}
+
+func (w *Worker) sleeper() resilience.Sleeper {
+	if w.Sleep != nil {
+		return w.Sleep
+	}
+	return resilience.StdSleeper
+}
+
+func (w *Worker) spoolInit() *outcomeSpool {
+	w.spoolOnce.Do(func() { w.spool = newOutcomeSpool(w.SpoolLimit) })
+	return w.spool
+}
+
+// SpoolDepth reports the number of outcomes awaiting coordinator
+// acknowledgement (also exported as the remote_worker.spool_depth gauge).
+func (w *Worker) SpoolDepth() int {
+	return w.spoolInit().depth()
+}
+
+// Epoch reports the highest coordinator epoch this worker has served.
+func (w *Worker) Epoch() int64 { return w.maxEpoch.Load() }
+
+// Serve runs campaign sessions until one drains cleanly (nil) or the
+// context ends, reconnecting through coordinator loss with
+// decorrelated-jitter backoff. Outcomes finished while disconnected sit in
+// the spool and replay on the next handshake. Serve gives up — returning
+// the last session error — once ReconnectWait passes without a successful
+// attach, covering both "coordinator never came back" and "the address now
+// fences us out".
+func (w *Worker) Serve(ctx context.Context) error {
+	policy := resilience.RetryPolicy{BaseDelay: w.ReconnectBase, MaxDelay: w.ReconnectMax}
+	if policy.BaseDelay <= 0 {
+		policy.BaseDelay = 100 * time.Millisecond
+	}
+	if policy.MaxDelay <= 0 {
+		policy.MaxDelay = 5 * time.Second
+	}
+	// Deterministic per-worker jitter: a fleet restarting together still
+	// spreads its redials, and tests replay the exact schedule.
+	h := fnv.New64a()
+	h.Write([]byte(w.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) | 1))
+	var prev time.Duration
+	lastAttach := time.Now()
+	for {
+		w.sawGrant.Store(false)
+		err := w.Run(ctx)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		if w.sawGrant.Load() {
+			// The session attached before dying: reset both the give-up
+			// window and the backoff ramp.
+			lastAttach = time.Now()
+			prev = 0
+		}
+		if time.Since(lastAttach) > w.reconnectWait() {
+			return err
+		}
+		w.telemetryInit()
+		w.mReconnects.Inc()
+		prev = policy.Backoff(prev, rng)
+		if serr := w.sleeper()(ctx, prev); serr != nil {
+			return err
+		}
+	}
 }
 
 // wsession is one connected campaign session's worker-side state.
@@ -115,8 +224,6 @@ type wsession struct {
 	// ship); lastRTT is the latest heartbeat round trip in nanoseconds.
 	ship    *shipper
 	lastRTT atomic.Int64
-
-	cancel context.CancelFunc
 }
 
 // Run serves one campaign: dial, hello, lease, then execute assignments
@@ -167,6 +274,28 @@ func (w *Worker) Run(ctx context.Context) error {
 	name := m.Worker // the coordinator may have uniqued it
 	lease := m.Lease
 
+	// Epoch fence: never accept a grant from an incarnation older than one
+	// we have already served — the dialed address reached a deposed
+	// coordinator (partitioned, or a stale addr file). Epoch 0 coordinators
+	// (no journal) opt out of fencing.
+	if grant.Epoch > 0 {
+		for {
+			cur := w.maxEpoch.Load()
+			if grant.Epoch < cur {
+				w.mStaleEpoch.Inc()
+				w.Events.Append(eventlog.Warn, eventlog.WorkerFenced, grant.Campaign, 0,
+					telemetry.String("worker", name),
+					telemetry.Int("epoch", int(grant.Epoch)), telemetry.Int("max_epoch", int(cur)))
+				return fmt.Errorf("remote: stale coordinator epoch %d (worker has served %d)", grant.Epoch, cur)
+			}
+			if w.maxEpoch.CompareAndSwap(cur, grant.Epoch) {
+				break
+			}
+		}
+		c.epoch.Store(grant.Epoch)
+	}
+	w.sawGrant.Store(true)
+
 	var memo *savanna.Memo
 	if w.Cache != nil {
 		memo = &savanna.Memo{
@@ -183,7 +312,7 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	s := &wsession{w: w, c: c, name: name, cancel: cancel,
+	s := &wsession{w: w, c: c, name: name,
 		enqueued: map[string]time.Time{}, trace: map[string]telemetry.SpanContext{}}
 	s.cond = sync.NewCond(&s.mu)
 	s.ship = newShipper(w.Tracer, w.Metrics, w.Events)
@@ -205,6 +334,26 @@ func (w *Worker) Run(ctx context.Context) error {
 	hbStop := make(chan struct{})
 	defer close(hbStop)
 	go s.heartbeatLoop(hb, lease, hbStop)
+
+	// Replay the outcome spool: everything finished under a previous
+	// session that the coordinator never acknowledged — work completed
+	// while it was down, or results whose acks died with the connection.
+	// The coordinator's first-terminal-outcome latch and its resume replay
+	// make redelivery idempotent; acks (possibly for runs it no longer
+	// tracks) drain the spool.
+	if pend := w.spoolInit().pending(); len(pend) > 0 {
+		replayed := 0
+		for _, out := range pend {
+			if c.send(OpResult, name, lease, out) != nil {
+				break
+			}
+			replayed++
+		}
+		w.mSpoolReplayed.Add(int64(replayed))
+		w.Events.Append(eventlog.Info, eventlog.WorkerSpoolReplay, grant.Campaign, 0,
+			telemetry.String("worker", name), telemetry.Int("outcomes", replayed),
+			telemetry.Int("epoch", int(grant.Epoch)))
+	}
 
 	// Context cancellation unblocks everything: executors via runCtx, the
 	// reader via the closed connection.
@@ -235,10 +384,16 @@ func (w *Worker) Run(ctx context.Context) error {
 			telemetry.String("worker", name))
 		span.End()
 		s.flush(lease, true)
+		cancel() // campaign over: stop in-flight work
 	}
-	cancel() // drain or disconnect: stop in-flight work
+	// A broken connection deliberately does NOT cancel in-flight runs: the
+	// coordinator is gone, not the work. Executors finish their current
+	// run, the outcomes land in the spool (the result send fails), and
+	// Serve replays them on the next handshake — finished work is never
+	// redone because the coordinator died at the wrong moment.
 	s.wake()
 	eg.Wait()
+	cancel()
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
@@ -262,6 +417,18 @@ func (s *wsession) readLoop(lease int64) error {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return fmt.Errorf("remote: coordinator connection: %w", err)
+		}
+		// Stale-epoch fence: a message stamped below the highest epoch this
+		// worker has served comes from a deposed coordinator (partitioned
+		// but still talking). Drop it — stale assignments must not execute,
+		// a stale drain must not end the session, and a stale result-ack
+		// must not clear the spool. Epoch 0 senders opt out of fencing.
+		if m.Epoch != 0 && m.Epoch < s.w.maxEpoch.Load() {
+			s.w.mStaleEpoch.Inc()
+			s.w.Events.Append(eventlog.Warn, eventlog.WorkerFenced, m.Op, 0,
+				telemetry.String("worker", s.name),
+				telemetry.Int("epoch", int(m.Epoch)), telemetry.Int("max_epoch", int(s.w.maxEpoch.Load())))
+			continue
 		}
 		switch m.Op {
 		case OpAssign:
@@ -287,6 +454,14 @@ func (s *wsession) readLoop(lease int64) error {
 				return err
 			}
 			s.relinquish(st.N, lease)
+		case OpResultAck:
+			a, err := decodeBody[ResultAck](m)
+			if err != nil {
+				return err
+			}
+			if s.w.spoolInit().ack(a.RunID) {
+				s.w.gSpoolDepth.Set(float64(s.w.spool.depth()))
+			}
 		case OpHeartbeatAck:
 			a, err := decodeBody[HeartbeatAck](m)
 			if err != nil {
@@ -342,7 +517,9 @@ func (s *wsession) relinquish(n int, lease int64) {
 }
 
 // heartbeatLoop renews the lease until the session ends; a failed send
-// means the coordinator is unreachable, which cancels the session.
+// means the coordinator is unreachable, so it closes the connection — the
+// read loop notices and winds the session down *without* cancelling
+// in-flight runs, which finish into the spool for replay.
 func (s *wsession) heartbeatLoop(period time.Duration, lease int64, stop <-chan struct{}) {
 	t := time.NewTicker(period)
 	defer t.Stop()
@@ -357,7 +534,7 @@ func (s *wsession) heartbeatLoop(period time.Duration, lease int64, stop <-chan 
 			SentUnixNano: time.Now().UnixNano(), RTTNanos: s.lastRTT.Load()}
 		s.mu.Unlock()
 		if err := s.c.send(OpHeartbeat, s.name, lease, hb); err != nil {
-			s.cancel()
+			s.c.close()
 			return
 		}
 		// Telemetry flushes ride the heartbeat cadence: one bounded batch
@@ -424,6 +601,18 @@ func (s *wsession) executeLoop(ctx context.Context, memo *savanna.Memo, lease in
 		s.inFlight--
 		s.mu.Unlock()
 		w.gInFlight.Add(-1)
+		// Spool before sending: the outcome survives until the coordinator
+		// acks it, so a result lost to a dying connection (or to a
+		// coordinator that journaled nothing before crashing) replays on
+		// the next handshake. Runs cancelled by the context are the one
+		// exception — their failure reflects this worker's shutdown, not
+		// the run, and must not be replayed as history to a successor.
+		if ctx.Err() == nil || out.OK {
+			if evicted := w.spoolInit().put(out); evicted > 0 {
+				w.mSpoolDropped.Add(int64(evicted))
+			}
+			w.gSpoolDepth.Set(float64(w.spool.depth()))
+		}
 		// A failed send is a session failure; the reader will notice the
 		// broken connection and wind the session down.
 		s.c.send(OpResult, s.name, lease, out)

@@ -42,6 +42,11 @@ const (
 	// lease; like AttemptKilled it requeues without consuming the run's
 	// attempt budget (the fault was the worker's, not the run's).
 	AttemptLost = "lost"
+	// AttemptStolen records a dispatched run relinquished by its worker
+	// under a steal request and requeued. Like AttemptLost it leaves the run
+	// owed on replay: a coordinator that died between the steal and the next
+	// dispatch still re-issues the run.
+	AttemptStolen = "stolen"
 )
 
 // Lease journal events. Lease records share the attempt journal (they are
@@ -60,6 +65,18 @@ const (
 // LeaseRunID renders the pseudo run id lease records journal under.
 func LeaseRunID(worker string) string { return "worker/" + worker }
 
+// EpochOpened marks a coordinator incarnation taking ownership of the
+// journal. It is journaled under EpochRunID with Epoch set to the new fenced
+// epoch and Worker naming the incarnation. Replay surfaces the highest epoch
+// seen; a successor always opens at that value + 1, so epochs are strictly
+// increasing across handovers and workers can reject traffic from any
+// incarnation below the latest — the split-brain fence.
+const EpochOpened = "epoch-opened"
+
+// EpochRunID is the pseudo run id epoch records journal under. Like lease
+// pseudo ids it stays pending on replay and never matches a real run.
+const EpochRunID = "coordinator/epoch"
+
 // AttemptRecord is one line of the attempt journal.
 type AttemptRecord struct {
 	Run     string    `json:"run"`
@@ -72,6 +89,10 @@ type AttemptRecord struct {
 	// Worker names the leaseholder for dispatched/lost/lease-* records —
 	// the remote execution plane's audit trail.
 	Worker string `json:"worker,omitempty"`
+	// Epoch is the coordinator incarnation that wrote the record (0 before
+	// failover existed). Meaningful on epoch-opened records, where it carries
+	// the newly fenced epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Journal is the append-only attempt log. Appends go through O_APPEND so a
@@ -83,7 +104,19 @@ type Journal struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
+	// autoSync > 0 arms the batched-fsync policy: every autoSync-th append
+	// fsyncs inline, bounding how much accounting a power loss can take
+	// without paying fsync latency on every record. unsynced counts appends
+	// since the last flush.
+	autoSync int
+	unsynced int
+	// fenced stops all further writes: a coordinator that lost its lease
+	// must not keep journaling under a successor's epoch.
+	fenced bool
 }
+
+// ErrJournalFenced is returned by Append once Fence has been called.
+var ErrJournalFenced = fmt.Errorf("resilience: journal fenced")
 
 // OpenJournal opens (creating if needed) the attempt journal at path. A
 // torn final line left by a killed process is repaired first — completed if
@@ -135,7 +168,9 @@ func (j *Journal) Path() string {
 }
 
 // Append journals one record. A nil journal swallows the write, so engines
-// without a journal configured pay only a nil check.
+// without a journal configured pay only a nil check. A fenced journal
+// rejects the write: a deposed coordinator must not keep writing history
+// under its successor's epoch.
 func (j *Journal) Append(rec AttemptRecord) error {
 	if j == nil {
 		return nil
@@ -147,8 +182,43 @@ func (j *Journal) Append(rec AttemptRecord) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err = j.f.Write(line)
-	return err
+	if j.fenced {
+		return ErrJournalFenced
+	}
+	if _, err = j.f.Write(line); err != nil {
+		return err
+	}
+	if j.autoSync > 0 {
+		if j.unsynced++; j.unsynced >= j.autoSync {
+			j.unsynced = 0
+			return j.f.Sync()
+		}
+	}
+	return nil
+}
+
+// SetAutoSync arms the batched-fsync policy: every n-th Append fsyncs
+// inline. n <= 0 disables (explicit Sync/Close only — the default).
+func (j *Journal) SetAutoSync(n int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.autoSync = n
+	j.mu.Unlock()
+}
+
+// Fence permanently stops writes to this handle (reads and Replay are
+// unaffected — they go through the path). The file stays intact for the
+// successor; this handle's Append returns ErrJournalFenced from now on.
+func (j *Journal) Fence() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.fenced = true
+	j.f.Sync()
+	j.mu.Unlock()
 }
 
 // Sync flushes the journal to stable storage.
@@ -158,6 +228,7 @@ func (j *Journal) Sync() error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.unsynced = 0
 	return j.f.Sync()
 }
 
@@ -178,12 +249,19 @@ func (j *Journal) Close() error {
 // Compact rewrites the journal keeping one terminal record per finished run
 // (dropping the attempt-by-attempt history), via the atomic temp+rename
 // write path so a crash mid-compaction leaves the previous journal intact.
+// The append lock is held across the whole read → rewrite → rename →
+// reopen sequence, so records appended concurrently land either before the
+// snapshot (and survive compacted) or after the reopen (and survive
+// verbatim) — never in the gap.
 func (j *Journal) Compact() error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.fenced {
+		return ErrJournalFenced
+	}
 	data, err := os.ReadFile(j.path)
 	if err != nil {
 		return err
@@ -213,15 +291,45 @@ func (j *Journal) Compact() error {
 	if err := j.f.Close(); err != nil {
 		return err
 	}
-	if err := cheetah.WriteFileAtomic(j.path, buf.Bytes(), 0o644); err != nil {
-		return err
+	j.unsynced = 0
+	// Past this point the old handle is gone: whatever happens, leave j.f
+	// pointing at a usable append handle so later Appends (whose errors many
+	// callers deliberately ignore) don't silently vanish into a closed file.
+	werr := cheetah.WriteFileAtomic(j.path, buf.Bytes(), 0o644)
+	f, oerr := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if oerr == nil {
+		j.f = f
 	}
-	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if werr != nil {
+		return werr
+	}
+	return oerr
+}
+
+// OpenEpoch fences a new coordinator incarnation into the journal: it
+// replays the file's current highest epoch, appends an epoch-opened record
+// for that value + 1 (naming holder), fsyncs it, and returns the new epoch.
+// The record is durable before the function returns — a successor racing us
+// is guaranteed to open at a strictly higher epoch.
+func (j *Journal) OpenEpoch(holder string) (int64, error) {
+	if j == nil {
+		return 0, nil
+	}
+	recs, err := ReadJournalFile(j.Path())
 	if err != nil {
-		return err
+		return 0, err
 	}
-	j.f = f
-	return nil
+	epoch := Replay(recs).Epoch + 1
+	if err := j.Append(AttemptRecord{
+		Run: EpochRunID, Event: EpochOpened, Epoch: epoch,
+		Worker: holder, Time: time.Now(),
+	}); err != nil {
+		return 0, err
+	}
+	if err := j.Sync(); err != nil {
+		return 0, err
+	}
+	return epoch, nil
 }
 
 // DecodeJournal parses an attempt journal. A final line without a
@@ -291,6 +399,9 @@ type ResumeState struct {
 	InFlight map[string]bool
 	// QuarantinedPoints holds side-lined sweep-point keys.
 	QuarantinedPoints map[string]bool
+	// Epoch is the highest coordinator epoch journaled (0 when the journal
+	// predates failover). A resuming coordinator opens at Epoch+1.
+	Epoch int64
 }
 
 // Replay folds journal records (oldest first) into a ResumeState.
@@ -319,11 +430,16 @@ func Replay(recs []AttemptRecord) *ResumeState {
 			if r.Event == AttemptQuarantined && r.Point != "" {
 				s.QuarantinedPoints[r.Point] = true
 			}
-		case AttemptDispatched, AttemptLost:
-			// Dispatched-but-unfinished and lease-reclaimed runs are owed:
-			// resume re-dispatches them. (Lease records under "worker/<name>"
-			// pseudo ids land here too and stay pending — Remaining filters
-			// on real run ids, so they never resurface as work.)
+		case AttemptDispatched, AttemptLost, AttemptStolen:
+			// Dispatched-but-unfinished, lease-reclaimed, and stolen-but-not-
+			// redispatched runs are owed: resume re-dispatches them. (Lease
+			// records under "worker/<name>" pseudo ids land here too and stay
+			// pending — Remaining filters on real run ids, so they never
+			// resurface as work.)
+		case EpochOpened:
+			if r.Epoch > s.Epoch {
+				s.Epoch = r.Epoch
+			}
 		}
 		// AttemptKilled and AttemptSkipped leave the run pending: both
 		// requeue on resume.

@@ -151,6 +151,19 @@ const (
 	// WorkSteal marks a rebalance: an idle worker triggered reclamation of
 	// queued-but-unstarted runs from the busiest worker (attrs: from, to, n).
 	WorkSteal = "work.steal"
+
+	// Coordinator failover lifecycle (DESIGN.md §4j). CoordinatorEpoch marks
+	// an incarnation fencing the attempt journal at a new epoch (attr:
+	// epoch; a takeover when epoch > 1). CoordinatorFenced marks an
+	// incarnation discovering it was deposed — lease file taken over — and
+	// self-fencing. WorkerFenced marks a worker rejecting stale-epoch
+	// traffic (a grant or message from a deposed coordinator);
+	// WorkerSpoolReplay marks a re-handshaking worker replaying outcomes
+	// finished while disconnected (attr: outcomes).
+	CoordinatorEpoch  = "coordinator.epoch"
+	CoordinatorFenced = "coordinator.fenced"
+	WorkerFenced      = "worker.fenced"
+	WorkerSpoolReplay = "worker.spool-replay"
 )
 
 // Event is one journal record. Span, when non-zero, is the trace-local ID
